@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt experiments examples cover
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate the EXPERIMENTS.md tables (stdout).
+experiments:
+	$(GO) run ./cmd/xtree-bench -exp all -maxr 9 -seeds 5
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/simulate
+	$(GO) run ./examples/universal
+	$(GO) run ./examples/hypercube
+	$(GO) run ./examples/separators
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -1,0 +1,104 @@
+package xtreesim_test
+
+import (
+	"strings"
+	"testing"
+
+	"xtreesim"
+
+	"xtreesim/internal/netsim"
+)
+
+func TestEmbedStrictAndInto(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyZigzag, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.EmbedStrict(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xtreesim.Verify(res); err != nil {
+		t.Fatal(err)
+	}
+	big, err := xtreesim.EmbedInto(tree, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Host.Height() != 7 {
+		t.Errorf("forced height = %d", big.Host.Height())
+	}
+	if _, err := xtreesim.EmbedInto(tree, 0); err == nil {
+		t.Error("overfull forced host accepted")
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyRandom, 496, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pile everything onto the root: load explodes.
+	for i := range res.Assignment {
+		res.Assignment[i] = res.Assignment[0]
+	}
+	if err := xtreesim.Verify(res); err == nil {
+		t.Error("Verify accepted load-496 vertex")
+	}
+}
+
+func TestPublicSerializationRoundTrip(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyBroom, 240, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := xtreesim.WriteResult(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := xtreesim.ReadResult(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xtreesim.CheckInvariants(back); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicUniversalForHeight(t *testing.T) {
+	u := xtreesim.UniversalForHeight(2)
+	if u.N() != 112 {
+		t.Errorf("G over X(2) has %d slots", u.N())
+	}
+}
+
+func TestPublicBFSPackAndSimulate(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyBST, 496, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := xtreesim.BaselineBFSPack(tree)
+	if base.Embedding().MaxLoad() != xtreesim.LoadTarget {
+		t.Error("bfs-pack load wrong")
+	}
+	place := make([]int32, tree.N())
+	for v, a := range base.Assignment {
+		place[v] = int32(a.ID())
+	}
+	res, err := xtreesim.Simulate(netsim.Config{Host: base.Host.AsGraph(), Place: place},
+		xtreesim.NewBroadcast(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Error("broadcast delivered nothing")
+	}
+}

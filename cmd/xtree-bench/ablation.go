@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"xtreesim"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/butterfly"
+	"xtreesim/internal/core"
+	"xtreesim/internal/metrics"
+	"xtreesim/internal/xtree"
+)
+
+// e11Ablation quantifies what each phase of algorithm X-TREE buys by
+// disabling it: the ADJUST phase (horizontal rebalancing across subtree
+// boundaries) and SPLIT's final leveling cut (the "4 free places").  The
+// full pipeline needs no out-of-neighborhood fallbacks; the ablations do,
+// or leave much larger imbalances for the final pass to absorb.
+func e11Ablation() {
+	header("E11 — ablation: which phase earns the dilation bound (guest = path)",
+		"variant", "r", "dilation", "max load", "final imbalance", "fill deficits", "final fallbacks", "cond3 violations")
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", core.Options{Height: -1}},
+		{"no-adjust", core.Options{Height: -1, DisableAdjust: true}},
+		{"no-leveling", core.Options{Height: -1, DisableLeveling: true}},
+		{"no-adjust+no-leveling", core.Options{Height: -1, DisableAdjust: true, DisableLeveling: true}},
+	}
+	for _, r := range []int{6, 8} {
+		if r > *maxR {
+			continue
+		}
+		for _, fam := range []bintree.Family{bintree.FamilyPath, bintree.FamilyRandom} {
+			tr, err := bintree.Generate(fam, int(xtreesim.Capacity(r)), rng(int64(r)))
+			check(err)
+			for _, v := range variants {
+				res, err := core.EmbedXTree(tr, v.opts)
+				check(err)
+				imb := res.Stats.MaxImbalance[len(res.Stats.MaxImbalance)-1]
+				row(fmt.Sprintf("%s/%s", fam, v.name), r, res.Dilation(), res.MaxLoad(), imb,
+					res.Stats.FillDeficits, res.Stats.FinalFallbacks, res.Stats.Cond3Violations)
+			}
+		}
+	}
+}
+
+// e13Scaling measures the embedder's runtime growth: the construction is
+// near-linear (O(n log n) from the per-round component rebuilds), so the
+// per-node cost must stay flat as n doubles.
+func e13Scaling() {
+	header("E13 — embedder scaling (guest = path, worst-case imbalance)",
+		"r", "n", "wall time", "ns/node", "dilation", "load")
+	top := *maxR + 3
+	if top > 13 {
+		top = 13
+	}
+	for r := 8; r <= top; r++ {
+		n := int(xtreesim.Capacity(r))
+		tr := bintree.Path(n)
+		start := time.Now()
+		res, err := core.EmbedXTree(tr, core.DefaultOptions())
+		check(err)
+		el := time.Since(start)
+		row(r, n, el.Round(time.Millisecond), fmt.Sprintf("%.0f", float64(el.Nanoseconds())/float64(n)),
+			res.Dilation(), res.MaxLoad())
+	}
+}
+
+// e14Butterfly reproduces the §1 context from [3]: complete binary trees
+// are dilation-1 subgraphs of butterflies, while the natural X-tree
+// embedding's horizontal edges stretch more and more with k (constant
+// dilation being impossible: the lower bound is Ω(log log n)).
+func e14Butterfly() {
+	header("E14 — context [3]: butterflies vs X-trees",
+		"k", "BF(k) vertices", "complete-tree dilation", "x-tree horizontal dilation", "CCC(k) degree")
+	for k := 3; k <= min(*maxR, 8); k++ {
+		b := butterfly.NewButterfly(k)
+		g := b.AsGraph()
+		emb := b.CompleteTreeEmbedding()
+		// Complete-tree dilation (tree edges only).
+		n := bitstr.NumVertices(k)
+		maxTree := 0
+		for id := int64(1); id < n; id++ {
+			a := bitstr.FromID(id)
+			if d := g.Distance(int(emb[id]), int(emb[a.Parent().ID()])); d > maxTree {
+				maxTree = d
+			}
+		}
+		// X-tree horizontal-edge dilation under the same embedding.
+		x := xtree.New(k)
+		maxHoriz := 0
+		x.Vertices(func(a bitstr.Addr) bool {
+			if s, ok := a.Successor(); ok {
+				if d := g.Distance(int(emb[a.ID()]), int(emb[s.ID()])); d > maxHoriz {
+					maxHoriz = d
+				}
+			}
+			return true
+		})
+		ccc := butterfly.NewCCC(k).AsGraph()
+		row(k, g.N(), maxTree, maxHoriz, ccc.MaxDegree())
+	}
+}
+
+// e15Fibonacci sweeps Fibonacci trees — the maximally height-unbalanced
+// AVL shapes, whose sizes (Leonardo numbers) never match the theorem's
+// 16·(2^{r+1}−1), so this doubles as the arbitrary-n sweep: the guest goes
+// into the minimal host with slack and the bounds must still hold.
+func e15Fibonacci() {
+	header("E15 — Fibonacci guests (arbitrary n, maximal AVL imbalance)",
+		"k", "n", "host", "slack", "dilation", "max load")
+	for k := 10; k <= 22; k += 2 {
+		tr := bintree.Fibonacci(k)
+		res, err := core.EmbedXTree(tr, core.DefaultOptions())
+		check(err)
+		slack := core.Capacity(res.Host.Height()) - int64(tr.N())
+		row(k, tr.N(), fmt.Sprintf("X(%d)", res.Host.Height()), slack,
+			res.Dilation(), res.MaxLoad())
+	}
+}
+
+// e12Congestion measures edge congestion of the Monien embedding under
+// shortest-path routing — a quantity the paper does not bound but the
+// machine simulation depends on.
+func e12Congestion() {
+	header("E12 — edge congestion under shortest-path routing (family = random)",
+		"r", "n", "monien max", "monien mean", "dfs-pack max", "dfs-pack mean")
+	for r := 3; r <= min(*maxR, 8); r++ {
+		n := int(xtreesim.Capacity(r))
+		tr, err := bintree.Generate(bintree.FamilyRandom, n, rng(int64(r)))
+		check(err)
+		res, err := core.EmbedXTree(tr, core.DefaultOptions())
+		check(err)
+		hostG := res.Host.AsGraph()
+		mMax, mMean := metrics.EdgeCongestion(res.Embedding(), hostG)
+		base := xtreesim.BaselineDFSPack(tr)
+		bMax, bMean := metrics.EdgeCongestion(base.Embedding(), base.Host.AsGraph())
+		row(r, n, mMax, fmt.Sprintf("%.2f", mMean), bMax, fmt.Sprintf("%.2f", bMean))
+	}
+}

@@ -1,0 +1,411 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xtreesim"
+
+	"xtreesim/internal/baseline"
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/core"
+	"xtreesim/internal/hypercube"
+	"xtreesim/internal/netsim"
+	"xtreesim/internal/separator"
+	"xtreesim/internal/xtree"
+)
+
+// e1Theorem1 sweeps every guest family and height: the paper claims
+// dilation ≤ 3 and load ≤ 16 with optimal expansion.  The configurations
+// are independent, so the sweep fans out over the CPUs and prints the
+// rows in deterministic order afterwards.
+func e1Theorem1() {
+	header("E1 — Theorem 1: dilation ≤ 3, load ≤ 16, optimal X-tree",
+		"family", "r", "n", "max dilation", "avg dilation", "max load", "cond3 violations", "final fallbacks")
+	type cfg struct {
+		f xtreesim.Family
+		r int
+	}
+	var cfgs []cfg
+	for _, f := range xtreesim.Families {
+		for r := 2; r <= *maxR; r++ {
+			cfgs = append(cfgs, cfg{f, r})
+		}
+	}
+	rows := make([][]interface{}, len(cfgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, c := range cfgs {
+		wg.Add(1)
+		go func(i int, c cfg) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n := int(xtreesim.Capacity(c.r))
+			maxDil, maxLoad, viol, fb := 0, 0, 0, 0
+			avg := 0.0
+			for s := 0; s < *seeds; s++ {
+				tr, err := bintree.Generate(c.f, n, rng(int64(s)))
+				check(err)
+				res, err := core.EmbedXTree(tr, core.DefaultOptions())
+				check(err)
+				emb := res.Embedding()
+				if d := emb.DilationParallel(); d > maxDil {
+					maxDil = d
+				}
+				avg += emb.AverageDilation()
+				if l := res.MaxLoad(); l > maxLoad {
+					maxLoad = l
+				}
+				viol += res.Stats.Cond3Violations
+				fb += res.Stats.FinalFallbacks
+			}
+			rows[i] = []interface{}{c.f, c.r, n, maxDil,
+				fmt.Sprintf("%.2f", avg/float64(*seeds)), maxLoad, viol, fb}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, r := range rows {
+		row(r...)
+	}
+}
+
+// e2Injective verifies Theorem 2: injective into X(r+4) with dilation ≤ 11.
+func e2Injective() {
+	header("E2 — Theorem 2: injective into X(r+4), dilation ≤ 11",
+		"family", "r", "n", "host", "max dilation", "injective")
+	for _, f := range xtreesim.Families {
+		for r := 2; r <= min(*maxR, 8); r += 2 {
+			n := int(xtreesim.Capacity(r))
+			maxDil := 0
+			inj := true
+			for s := 0; s < *seeds; s++ {
+				tr, err := bintree.Generate(f, n, rng(int64(s)))
+				check(err)
+				res, err := core.EmbedXTree(tr, core.DefaultOptions())
+				check(err)
+				ir, err := core.EmbedInjective(res)
+				check(err)
+				emb := ir.Embedding()
+				if d := emb.Dilation(); d > maxDil {
+					maxDil = d
+				}
+				inj = inj && emb.IsInjective()
+			}
+			row(f, r, n, fmt.Sprintf("X(%d)", r+4), maxDil, inj)
+		}
+	}
+}
+
+// e3Hypercube verifies Theorem 3: load 16, dilation ≤ 4 in the hypercube.
+func e3Hypercube() {
+	header("E3 — Theorem 3: hypercube embedding, load ≤ 16, dilation ≤ 4",
+		"family", "r", "n", "host", "max dilation", "max load")
+	for _, f := range xtreesim.Families {
+		for r := 3; r <= min(*maxR, 9); r += 3 {
+			n := int(xtreesim.Capacity(r))
+			maxDil, maxLoad := 0, 0
+			for s := 0; s < *seeds; s++ {
+				tr, err := bintree.Generate(f, n, rng(int64(s)))
+				check(err)
+				res, err := core.EmbedXTree(tr, core.DefaultOptions())
+				check(err)
+				hr := core.EmbedHypercube(res)
+				emb := hr.Embedding()
+				if d := emb.Dilation(); d > maxDil {
+					maxDil = d
+				}
+				if l := emb.MaxLoad(); l > maxLoad {
+					maxLoad = l
+				}
+			}
+			row(f, r, n, fmt.Sprintf("Q_%d", r+1), maxDil, maxLoad)
+		}
+	}
+}
+
+// e4Universal verifies Theorem 4: degree ≤ 415 and spanning trees.
+func e4Universal() {
+	header("E4 — Theorem 4: universal graph G_n, degree ≤ 415",
+		"t", "n = 2^t−16", "max degree", "edges", "families spanning")
+	for t := 7; t <= min(*maxR+5, 13); t++ {
+		n := int64(1)<<uint(t) - 16
+		u, err := xtreesim.NewUniversalGraph(n)
+		check(err)
+		ok := 0
+		for _, f := range xtreesim.Families {
+			tr, err := bintree.Generate(f, int(n), rng(1))
+			check(err)
+			assign, err := u.Embed(tr)
+			if err == nil && u.IsSpanning(tr, assign) == nil {
+				ok++
+			}
+		}
+		row(t, n, u.MaxDegree(), u.G.M(), fmt.Sprintf("%d/%d", ok, len(xtreesim.Families)))
+	}
+}
+
+// e5Lemmas measures the separator lemmas' balance error against the paper
+// bounds ⌊(A+1)/3⌋ (Lemma 1) and ⌊(A+4)/9⌋ (Lemma 2).
+func e5Lemmas() {
+	header("E5 — Lemmas 1/2: separator balance",
+		"lemma", "trials", "max S1 size", "max S2 size", "max error", "bound exceeded")
+	trials := 4000
+	maxS1, maxS2, exceed := 0, 0, 0
+	maxErrRatio := 0.0
+	r := rng(5)
+	for i := 0; i < trials; i++ {
+		n := 4 + r.Intn(800)
+		tr := bintree.RandomAttachment(n, r)
+		rt := separator.Build(tr.Neighbors, tr.Root(), nil)
+		maxA := (3*n - 1) / 4
+		if maxA < 1 {
+			continue
+		}
+		A := 1 + r.Intn(maxA)
+		sp, err := separator.Lemma1(rt, int32(r.Intn(n)), A)
+		check(err)
+		if len(sp.S1) > maxS1 {
+			maxS1 = len(sp.S1)
+		}
+		if len(sp.S2) > maxS2 {
+			maxS2 = len(sp.S2)
+		}
+		errv := abs(len(sp.Part2) - A)
+		if errv > separator.Lemma1Bound(A) {
+			exceed++
+		}
+		if ratio := float64(errv) / float64(A+1); ratio > maxErrRatio {
+			maxErrRatio = ratio
+		}
+	}
+	row("Lemma 1", trials, maxS1, maxS2, fmt.Sprintf("%.3f·(A+1)", maxErrRatio), exceed)
+	maxS1, maxS2, exceed = 0, 0, 0
+	maxErrRatio = 0.0
+	for i := 0; i < trials; i++ {
+		n := 1 + r.Intn(800)
+		tr := bintree.RandomBSTShape(n, r)
+		rt := separator.Build(tr.Neighbors, tr.Root(), nil)
+		A := r.Intn(n + 1)
+		sp, err := separator.Lemma2(rt, int32(r.Intn(n)), A)
+		check(err)
+		if len(sp.S1) > maxS1 {
+			maxS1 = len(sp.S1)
+		}
+		if len(sp.S2) > maxS2 {
+			maxS2 = len(sp.S2)
+		}
+		errv := abs(len(sp.Part2) - A)
+		if errv > separator.Lemma2Bound(A) {
+			exceed++
+		}
+		if ratio := float64(errv) / float64(A+4); ratio > maxErrRatio {
+			maxErrRatio = ratio
+		}
+	}
+	row("Lemma 2", trials, maxS1, maxS2, fmt.Sprintf("%.3f·(A+4)", maxErrRatio), exceed)
+}
+
+// e6Lemma3 measures Lemma 3's distance stretch and the inorder embedding.
+func e6Lemma3() {
+	header("E6 — Lemma 3: χ : X(r) → Q_{r+1} stretches distances by ≤ 1",
+		"r", "pairs", "max (cube − xtree) distance", "χ injective", "inorder dilation")
+	for _, r := range []int{3, 5, 7} {
+		x := xtree.New(r)
+		g := x.AsGraph()
+		h := hypercube.New(r + 1)
+		n := x.NumVertices()
+		maxStretch := -100
+		seen := map[uint64]bool{}
+		injective := true
+		rd := rng(int64(r))
+		pairs := 3000
+		for i := 0; i < pairs; i++ {
+			a := bitstr.FromID(rd.Int63n(n))
+			b := bitstr.FromID(rd.Int63n(n))
+			xd := g.Distance(int(a.ID()), int(b.ID()))
+			hd := h.Distance(hypercube.Chi(a, r), hypercube.Chi(b, r))
+			if hd-xd > maxStretch {
+				maxStretch = hd - xd
+			}
+		}
+		x.Vertices(func(a bitstr.Addr) bool {
+			img := hypercube.Chi(a, r)
+			if seen[img] {
+				injective = false
+			}
+			seen[img] = true
+			return true
+		})
+		// Inorder dilation on B_r tree edges.
+		inorder := 0
+		x.Vertices(func(a bitstr.Addr) bool {
+			if a.Level < r {
+				for _, c := range []bitstr.Addr{a.Child(0), a.Child(1)} {
+					if d := h.Distance(hypercube.Inorder(a, r), hypercube.Inorder(c, r)); d > inorder {
+						inorder = d
+					}
+				}
+			}
+			return true
+		})
+		row(r, pairs, maxStretch, injective, inorder)
+	}
+}
+
+// e7Figures reproduces Figures 1 and 2: the X-tree structure and the
+// N-neighborhood bounds.
+func e7Figures() {
+	header("E7 — Figures 1/2: X-tree structure and N(a)",
+		"r", "vertices", "edges", "max degree", "max N(a) minus a", "max reverse-only")
+	for r := 2; r <= min(*maxR, 10); r++ {
+		x := xtree.New(r)
+		maxN, maxRev := 0, 0
+		x.Vertices(func(a bitstr.Addr) bool {
+			if k := len(x.NSet(a)) - 1; k > maxN {
+				maxN = k
+			}
+			rev := 0
+			for _, b := range x.ReverseN(a) {
+				if !x.InN(a, b) {
+					rev++
+				}
+			}
+			if rev > maxRev {
+				maxRev = rev
+			}
+			return true
+		})
+		g := x.AsGraph()
+		row(r, g.N(), g.M(), g.MaxDegree(), maxN, maxRev)
+	}
+}
+
+// e8Imbalance traces the sibling imbalance per round (the A(j,i)
+// estimations of §2(iii)) against the paper's 2^{r+1−i} envelope.
+func e8Imbalance() {
+	// §2(iii) bounds the per-level imbalances: A(j,i) ≤ 2^{r+1−i} for
+	// j = i < r, A(j,i) ≤ 2^{r+j+4−2i} for j < i with 2i ≤ r+j+1, and
+	// A(j,i) = 0 once 2i ≥ r+j+2.  The measured matrix (half-differences
+	// per sibling level after every round) is checked entry by entry;
+	// the table shows the per-round maxima and the matrix verdict.
+	header("E8 — A(j,i) imbalance convergence (guest = path, worst case)",
+		"r", "round-by-round max half-difference", "per-(j,i) matrix within paper envelope", "zero-region clean")
+	envelope := func(r, i, j int) int { // i = round, j = sibling level (1-based child level)
+		switch {
+		case 2*i >= r+j+2:
+			return 0
+		case j == i && i < r:
+			return 1 << uint(r+1-i)
+		default:
+			return 1 << uint(r+j+4-2*i)
+		}
+	}
+	for _, r := range []int{6, 8, 10} {
+		if r > *maxR {
+			continue
+		}
+		tr := bintree.Path(int(xtreesim.Capacity(r)))
+		res, err := core.EmbedXTree(tr, core.DefaultOptions())
+		check(err)
+		within, zeroClean := true, true
+		for i1, rowv := range res.Stats.ImbalanceMatrix {
+			i := i1 + 1
+			for jp, v := range rowv {
+				j := jp + 1 // child level of the sibling pair
+				env := envelope(r, i, j)
+				if v > env {
+					within = false
+				}
+				if env == 0 && v != 0 {
+					zeroClean = false
+				}
+			}
+		}
+		row(r, fmt.Sprint(res.Stats.MaxImbalance), within, zeroClean)
+	}
+}
+
+// e9Baselines contrasts the Monien embedding with the naive ones: constant
+// dilation+load vs growing dilation or unbounded load.
+func e9Baselines() {
+	header("E9 — baselines: who wins (family = random, load-16 hosts)",
+		"r", "n", "monien dil", "dfs-pack dil", "bfs-pack dil", "random-pack dil", "naive-tree load")
+	for r := 3; r <= *maxR; r++ {
+		n := int(xtreesim.Capacity(r))
+		tr, err := bintree.Generate(bintree.FamilyRandom, n, rng(int64(r)))
+		check(err)
+		res, err := core.EmbedXTree(tr, core.DefaultOptions())
+		check(err)
+		dfs := baseline.DFSPack(tr).Embedding().Dilation()
+		bfs := baseline.BFSPack(tr).Embedding().Dilation()
+		rnd := baseline.RandomPack(tr, rng(int64(r))).Embedding().Dilation()
+		naive := baseline.NaiveTree(tr, r).Embedding().MaxLoad()
+		row(r, n, res.Dilation(), dfs, bfs, rnd, naive)
+	}
+}
+
+// e10Simulation measures the end-to-end slowdown of running tree programs
+// on the simulated X-tree machine: a divide-and-conquer wave, and a
+// self-verifying parallel-prefix scan.
+func e10Simulation() {
+	header("E10 — simulated slowdown (divide-and-conquer + parallel prefix)",
+		"family", "r", "n", "ideal cycles", "monien cycles", "dfs-pack cycles", "slow(monien)", "slow(dfs)", "scan slow", "scan ok")
+	for _, f := range []bintree.Family{bintree.FamilyComplete, bintree.FamilyRandom} {
+		// The ideal machine hosts one processor per guest node, so the
+		// sweep stops at the simulator's 4096-vertex routing cap.
+		for r := 3; r <= min(*maxR, 7); r++ {
+			n := int(xtreesim.Capacity(r))
+			tr, err := bintree.Generate(f, n, rng(int64(r)))
+			check(err)
+			ideal, err := netsim.Run(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
+				netsim.NewDivideConquer(tr, 1))
+			check(err)
+			res, err := core.EmbedXTree(tr, core.DefaultOptions())
+			check(err)
+			place := make([]int32, n)
+			for v, a := range res.Assignment {
+				place[v] = int32(a.ID())
+			}
+			monien, err := netsim.Run(netsim.Config{Host: res.Host.AsGraph(), Place: place},
+				netsim.NewDivideConquer(tr, 1))
+			check(err)
+			base := baseline.DFSPack(tr)
+			dfsPlace := make([]int32, n)
+			for v, a := range base.Assignment {
+				dfsPlace[v] = int32(a.ID())
+			}
+			dfs, err := netsim.Run(netsim.Config{Host: base.Host.AsGraph(), Place: dfsPlace},
+				netsim.NewDivideConquer(tr, 1))
+			check(err)
+			// Parallel prefix with result verification.
+			scanIdeal, err := netsim.Run(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
+				netsim.NewScan(tr))
+			check(err)
+			scanWl := netsim.NewScan(tr)
+			scanHost, err := netsim.Run(netsim.Config{Host: res.Host.AsGraph(), Place: place}, scanWl)
+			check(err)
+			row(f, r, n, ideal.Cycles, monien.Cycles, dfs.Cycles,
+				fmt.Sprintf("%.2f", float64(monien.Cycles)/float64(ideal.Cycles)),
+				fmt.Sprintf("%.2f", float64(dfs.Cycles)/float64(ideal.Cycles)),
+				fmt.Sprintf("%.2f", float64(scanHost.Cycles)/float64(scanIdeal.Cycles)),
+				scanWl.Done())
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Command xtree-bench regenerates the experiment tables of EXPERIMENTS.md:
+// one experiment per theorem/lemma/figure claim of the paper (see
+// DESIGN.md §4 for the index).  Output is GitHub-flavored Markdown so the
+// tables can be pasted into EXPERIMENTS.md verbatim.
+//
+// Usage:
+//
+//	xtree-bench -exp all          # every experiment
+//	xtree-bench -exp e1 -maxr 10  # Theorem 1 sweep up to X(10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+)
+
+var (
+	maxR  = flag.Int("maxr", 9, "largest X-tree height in the sweeps")
+	seeds = flag.Int("seeds", 5, "random seeds per configuration")
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e15) or 'all'")
+	flag.Parse()
+	runners := map[string]func(){
+		"e1": e1Theorem1, "e2": e2Injective, "e3": e3Hypercube,
+		"e4": e4Universal, "e5": e5Lemmas, "e6": e6Lemma3,
+		"e7": e7Figures, "e8": e8Imbalance, "e9": e9Baselines,
+		"e10": e10Simulation, "e11": e11Ablation, "e12": e12Congestion,
+		"e13": e13Scaling, "e14": e14Butterfly, "e15": e15Fibonacci,
+	}
+	if *exp == "all" {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"} {
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[strings.ToLower(*exp)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func header(title string, cols ...string) {
+	fmt.Printf("\n### %s\n\n", title)
+	fmt.Println("| " + strings.Join(cols, " | ") + " |")
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Println("| " + strings.Join(sep, " | ") + " |")
+}
+
+func row(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprint(c)
+	}
+	fmt.Println("| " + strings.Join(parts, " | ") + " |")
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureExperiment(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestExperimentsEmitValidTables runs the cheap experiments end to end and
+// checks the markdown structure and the headline numbers.
+func TestExperimentsEmitValidTables(t *testing.T) {
+	*maxR = 4
+	*seeds = 1
+	defer func() { *maxR = 9; *seeds = 5 }()
+
+	out := captureExperiment(t, e7Figures)
+	if !strings.Contains(out, "### E7") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "| 3 | 15 | 25 | 5 |") {
+		t.Errorf("E7 X(3) row wrong:\n%s", out)
+	}
+
+	out = captureExperiment(t, e5Lemmas)
+	if !strings.Contains(out, "| Lemma 1 |") || !strings.Contains(out, "| Lemma 2 |") {
+		t.Errorf("E5 rows missing:\n%s", out)
+	}
+	// The bound-exceeded column must be 0 for both lemmas.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| Lemma") && !strings.HasSuffix(line, "| 0 |") {
+			t.Errorf("lemma bound exceeded: %s", line)
+		}
+	}
+
+	out = captureExperiment(t, e1Theorem1)
+	if !strings.Contains(out, "### E1") {
+		t.Fatal("E1 header missing")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "| ") || strings.Contains(line, "---") || strings.Contains(line, "family") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		// max dilation is cell 4, max load cell 6.
+		dil := strings.TrimSpace(cells[4])
+		load := strings.TrimSpace(cells[6])
+		if dil > "3" || load != "16" {
+			t.Errorf("E1 bound violated in row: %s", line)
+		}
+	}
+}
+
+func TestRowAndHeaderFormat(t *testing.T) {
+	out := captureExperiment(t, func() {
+		header("sample", "a", "b")
+		row(1, "x")
+	})
+	want := "\n### sample\n\n| a | b |\n| --- | --- |\n| 1 | x |\n"
+	if out != want {
+		t.Errorf("table format = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,121 @@
+// Command xtree-sim runs a tree workload on the simulated X-tree machine
+// and reports the slowdown against the ideal binary-tree machine
+// (experiment E10 of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	xtree-sim -family complete -n 1008 -workload divideconquer -waves 4 -placement monien
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"xtreesim"
+
+	"xtreesim/internal/netsim"
+)
+
+func main() {
+	family := flag.String("family", "complete", "guest family")
+	n := flag.Int("n", 1008, "guest size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	workload := flag.String("workload", "divideconquer", "divideconquer|broadcast|exchange|scan")
+	waves := flag.Int("waves", 1, "pipelined waves (divideconquer) or rounds (exchange)")
+	placement := flag.String("placement", "monien", "monien|dfs|bfs|random")
+	flag.Parse()
+	if err := run(os.Stdout, *family, *n, *seed, *workload, *waves, *placement); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one simulation comparison and prints the report.
+func run(w io.Writer, family string, n int, seed int64, workload string, waves int, placement string) error {
+	tree, err := xtreesim.GenerateTree(xtreesim.Family(family), n, seed)
+	if err != nil {
+		return err
+	}
+	mkWorkload := func() (xtreesim.Workload, error) {
+		switch workload {
+		case "divideconquer":
+			return xtreesim.NewDivideConquer(tree, waves), nil
+		case "broadcast":
+			return xtreesim.NewBroadcast(tree), nil
+		case "exchange":
+			return xtreesim.NewExchange(tree, waves), nil
+		case "scan":
+			return xtreesim.NewScan(tree), nil
+		default:
+			return nil, fmt.Errorf("unknown workload %q", workload)
+		}
+	}
+
+	wl, err := mkWorkload()
+	if err != nil {
+		return err
+	}
+	ideal, err := xtreesim.SimulateOnTree(tree, wl)
+	if err != nil {
+		return err
+	}
+
+	var hostRes xtreesim.SimResult
+	switch placement {
+	case "monien":
+		res, err := xtreesim.Embed(tree)
+		if err != nil {
+			return err
+		}
+		wl, err := mkWorkload()
+		if err != nil {
+			return err
+		}
+		hostRes, err = xtreesim.SimulateOnXTree(res, wl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "embedding: dilation=%d load=%d host=X(%d)\n",
+			res.Dilation(), res.MaxLoad(), res.Host.Height())
+	case "dfs", "bfs", "random":
+		var base *xtreesim.BaselineResult
+		switch placement {
+		case "dfs":
+			base = xtreesim.BaselineDFSPack(tree)
+		case "bfs":
+			base = xtreesim.BaselineBFSPack(tree)
+		default:
+			base = xtreesim.BaselineRandom(tree, seed)
+		}
+		place := make([]int32, tree.N())
+		for v, a := range base.Assignment {
+			place[v] = int32(a.ID())
+		}
+		wl, err := mkWorkload()
+		if err != nil {
+			return err
+		}
+		hostRes, err = xtreesim.Simulate(netsim.Config{Host: base.Host.AsGraph(), Place: place}, wl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "embedding: %s dilation=%d\n", base.Name, base.Embedding().Dilation())
+	default:
+		return fmt.Errorf("unknown placement %q", placement)
+	}
+
+	fmt.Fprintf(w, "ideal binary-tree machine : %d cycles\n", ideal.Cycles)
+	fmt.Fprintf(w, "X-tree machine            : %d cycles\n", hostRes.Cycles)
+	slow := 0.0
+	if ideal.Cycles > 0 {
+		slow = float64(hostRes.Cycles) / float64(ideal.Cycles)
+	}
+	fmt.Fprintf(w, "slowdown                  : %.2f\n", slow)
+	fmt.Fprintf(w, "traffic: delivered=%d hops=%d maxlink=%d maxqueue=%d\n",
+		hostRes.Delivered, hostRes.HopsTotal, hostRes.MaxLinkLoad, hostRes.MaxQueue)
+	fmt.Fprintf(w, "latency cycles: p50=%d p99=%d max=%d\n",
+		hostRes.LatencyP50, hostRes.LatencyP99, hostRes.LatencyMax)
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadsAndPlacements(t *testing.T) {
+	for _, wl := range []string{"divideconquer", "broadcast", "exchange", "scan"} {
+		var sb strings.Builder
+		if err := run(&sb, "random", 240, 1, wl, 2, "monien"); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "slowdown") || !strings.Contains(out, "host=X(3)") {
+			t.Errorf("%s output = %q", wl, out)
+		}
+	}
+	for _, pl := range []string{"dfs", "bfs", "random"} {
+		var sb strings.Builder
+		if err := run(&sb, "complete", 240, 1, "broadcast", 1, pl); err != nil {
+			t.Fatalf("%s: %v", pl, err)
+		}
+		if !strings.Contains(sb.String(), "pack dilation=") {
+			t.Errorf("%s output = %q", pl, sb.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "random", 100, 1, "nope", 1, "monien"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&sb, "random", 100, 1, "scan", 1, "teleport"); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	if err := run(&sb, "nofamily", 100, 1, "scan", 1, "monien"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

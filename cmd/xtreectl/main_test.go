@@ -1,0 +1,104 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestCmdGen(t *testing.T) {
+	out := capture(t, func() { cmdGen([]string{"-family", "complete", "-n", "7"}) })
+	if strings.TrimSpace(out) != "(((..)(..))((..)(..)))" {
+		t.Errorf("gen output = %q", out)
+	}
+}
+
+func TestCmdEmbedAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "emb.txt")
+	out := capture(t, func() {
+		cmdEmbed([]string{"-family", "random", "-n", "240", "-o", file})
+	})
+	if !strings.Contains(out, "dilation=") || !strings.Contains(out, "load=16") {
+		t.Errorf("embed output = %q", out)
+	}
+	out = capture(t, func() { cmdCheck([]string{"-in", file}) })
+	if !strings.Contains(out, "ok: n=240") {
+		t.Errorf("check output = %q", out)
+	}
+}
+
+func TestCmdVerify(t *testing.T) {
+	out := capture(t, func() { cmdVerify([]string{"-family", "path", "-n", "496"}) })
+	if !strings.Contains(out, "ok: n=496") || !strings.Contains(out, "host=X(4)") {
+		t.Errorf("verify output = %q", out)
+	}
+}
+
+func TestCmdNSet(t *testing.T) {
+	out := capture(t, func() { cmdNSet([]string{"-vertex", "0101", "-r", "6"}) })
+	if !strings.Contains(out, "|N(a)-{a}| = 20") {
+		t.Errorf("nset output missing tight bound: %q", out)
+	}
+	if !strings.Contains(out, "reverse-only = 5") {
+		t.Errorf("nset output missing reverse count: %q", out)
+	}
+}
+
+func TestCmdDotAndSVG(t *testing.T) {
+	out := capture(t, func() { cmdDot([]string{"-what", "xtree", "-r", "2"}) })
+	if !strings.Contains(out, "graph \"X(2)\"") || !strings.Contains(out, "--") {
+		t.Errorf("dot output = %q", out)
+	}
+	out = capture(t, func() { cmdSVG([]string{"-what", "nset", "-vertex", "01", "-r", "3"}) })
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "#e5554f") {
+		t.Errorf("svg output = %q", out[:min(len(out), 200)])
+	}
+	out = capture(t, func() {
+		cmdSVG([]string{"-what", "embedding", "-family", "broom", "-n", "112"})
+	})
+	if !strings.Contains(out, "rgb(") {
+		t.Error("embedding svg missing load shading")
+	}
+}
+
+func TestCmdGenFromFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "tree.txt")
+	if err := os.WriteFile(file, []byte("((..).)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() { cmdGen([]string{"-in", file}) })
+	if strings.TrimSpace(out) != "((..).)" {
+		t.Errorf("gen -in output = %q", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package xtreesim_test
+
+import (
+	"fmt"
+
+	"xtreesim"
+)
+
+// The headline theorem: any binary tree embeds into its optimal X-tree
+// with dilation ≤ 3 and load ≤ 16.
+func ExampleEmbed() {
+	tree, _ := xtreesim.GenerateTree(xtreesim.FamilyRandom, 1008, 42)
+	res, _ := xtreesim.Embed(tree)
+	fmt.Println("host height:", res.Host.Height())
+	fmt.Println("dilation ≤ 3:", res.Dilation() <= 3)
+	fmt.Println("load ≤ 16:", res.MaxLoad() <= 16)
+	// Output:
+	// host height: 5
+	// dilation ≤ 3: true
+	// load ≤ 16: true
+}
+
+// Theorem 2: the load-16 embedding unfolds into a one-to-one embedding
+// four levels deeper.
+func ExampleEmbedInjective() {
+	tree, _ := xtreesim.GenerateTree(xtreesim.FamilyCaterpillar, 240, 7)
+	res, _ := xtreesim.Embed(tree)
+	inj, _ := xtreesim.EmbedInjective(res)
+	emb := inj.Embedding()
+	fmt.Println("injective:", emb.IsInjective())
+	fmt.Println("dilation ≤ 11:", emb.Dilation() <= 11)
+	// Output:
+	// injective: true
+	// dilation ≤ 11: true
+}
+
+// Theorem 4: one fixed degree-≤415 graph contains every 496-node binary
+// tree as a spanning tree.
+func ExampleUniversalGraph() {
+	ug, _ := xtreesim.NewUniversalGraph(496)
+	tree, _ := xtreesim.GenerateTree(xtreesim.FamilyPath, 496, 0)
+	assign, _ := ug.Embed(tree)
+	fmt.Println("degree bound holds:", ug.MaxDegree() <= xtreesim.UniversalDegreeBound)
+	fmt.Println("spanning:", ug.IsSpanning(tree, assign) == nil)
+	// Output:
+	// degree bound holds: true
+	// spanning: true
+}
+
+// Lemma 2 on its own: split ≈1000 nodes off a tree with a ≤4+4-node
+// separator and error at most ⌊(A+4)/9⌋.
+func ExampleSplitLemma2() {
+	tree, _ := xtreesim.GenerateTree(xtreesim.FamilyBST, 4000, 3)
+	split, _ := xtreesim.SplitLemma2(tree, 2000, 1000)
+	errv := len(split.Part2) - 1000
+	if errv < 0 {
+		errv = -errv
+	}
+	fmt.Println("separators small:", len(split.S1) <= 4 && len(split.S2) <= 4)
+	fmt.Println("error within bound:", errv <= (1000+4)/9)
+	// Output:
+	// separators small: true
+	// error within bound: true
+}
+
+// Running a divide-and-conquer program on the simulated X-tree machine
+// costs only a small constant factor over the ideal tree machine.
+func ExampleSimulateOnXTree() {
+	tree, _ := xtreesim.GenerateTree(xtreesim.FamilyComplete, 1008, 0)
+	ideal, _ := xtreesim.SimulateOnTree(tree, xtreesim.NewDivideConquer(tree, 1))
+	res, _ := xtreesim.Embed(tree)
+	host, _ := xtreesim.SimulateOnXTree(res, xtreesim.NewDivideConquer(tree, 1))
+	fmt.Println("slowdown under 4x:", host.Cycles < 4*ideal.Cycles)
+	// Output:
+	// slowdown under 4x: true
+}

@@ -1,0 +1,53 @@
+// Command hypercube demonstrates the §3 corollaries: porting a tree
+// program to a hypercube machine.  It embeds binary trees into their
+// optimal hypercubes via Theorem 3 (load 16, dilation ≤ 4) and contrasts
+// this with the classic inorder embedding (only for complete trees,
+// dilation 2) that the theorem generalizes from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xtreesim"
+)
+
+func main() {
+	fmt.Println("Theorem 3: arbitrary binary trees into hypercubes, load 16")
+	fmt.Printf("%12s %8s %6s %9s %6s\n", "family", "n", "cube", "dilation", "load")
+	for _, f := range xtreesim.Families {
+		// n = 16·(2^6 − 1): fills X(5), lands in Q_6.
+		n := int(xtreesim.Capacity(5))
+		tree, err := xtreesim.GenerateTree(f, n, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := xtreesim.Embed(tree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hc := xtreesim.EmbedHypercube(res)
+		rep := hc.Embedding().Summarize()
+		fmt.Printf("%12s %8d %6s %9d %6d\n",
+			f, n, fmt.Sprintf("Q_%d", hc.Host.Dim()), rep.Dilation, rep.MaxLoad)
+	}
+
+	// The corollary after Theorem 3: injective hypercube embeddings with
+	// constant dilation for every binary tree.
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyBST, int(xtreesim.Capacity(4)), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj, err := xtreesim.EmbedInjective(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ihc := xtreesim.InjectiveHypercubeOf(inj)
+	rep := ihc.Embedding().Summarize()
+	fmt.Printf("\ninjective corollary: n=%d into Q_%d, dilation=%d, injective=%v\n",
+		tree.N(), ihc.Host.Dim(), rep.Dilation, rep.Injective)
+}

@@ -1,0 +1,52 @@
+// Command quickstart shows the 30-second tour of the library: generate a
+// binary tree, embed it into its optimal X-tree (Theorem 1), and print the
+// measured dilation, load factor and expansion, plus the derived injective
+// (Theorem 2) and hypercube (Theorem 3) embeddings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xtreesim"
+)
+
+func main() {
+	// A random 1008-node binary tree: 1008 = 16·(2^6 − 1), the exact
+	// capacity of the X-tree of height 5.
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyRandom, 1008, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Theorem 1: dilation ≤ 3, load ≤ 16, optimal expansion.
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := xtreesim.Verify(res); err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Embedding().Summarize()
+	fmt.Printf("Theorem 1: X(%d) host, dilation=%d load=%d host-vertices=%d\n",
+		res.Host.Height(), rep.Dilation, rep.MaxLoad, rep.HostN)
+
+	// Theorem 2: injective into X(r+4) with dilation ≤ 11.
+	inj, err := xtreesim.EmbedInjective(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	irep := inj.Embedding().Summarize()
+	fmt.Printf("Theorem 2: X(%d) host, dilation=%d injective=%v\n",
+		inj.Host.Height(), irep.Dilation, irep.Injective)
+
+	// Theorem 3: hypercube with load 16 and dilation ≤ 4.
+	hc := xtreesim.EmbedHypercube(res)
+	hrep := hc.Embedding().Summarize()
+	fmt.Printf("Theorem 3: Q_%d host, dilation=%d load=%d\n",
+		hc.Host.Dim(), hrep.Dilation, hrep.MaxLoad)
+
+	// Where did the guest root land?
+	fmt.Printf("guest root %d sits on X-tree vertex %v\n",
+		tree.Root(), res.Assignment[tree.Root()])
+}

@@ -1,0 +1,3 @@
+module xtreesim
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package baseline implements the naive embeddings the Monien construction
+// is compared against in the experiments (EXPERIMENTS.md, E9).  None of
+// them achieves constant dilation AND constant load simultaneously:
+//
+//   - NaiveTree follows the guest's own child edges down the X-tree and
+//     parks everything deeper than the host on the leaves: dilation ≤ 1 but
+//     unbounded load on skewed trees;
+//   - DFSPack / BFSPack fill the host 16-per-vertex in traversal order:
+//     optimal load and expansion, but dilation grows with the tree size;
+//   - RandomPack is the lower-bound anchor: dilation ≈ host diameter;
+//   - InorderComplete is the classic identity embedding of a complete
+//     binary tree, dilation 1 with load 1 (only for heap-shaped guests).
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/core"
+	"xtreesim/internal/metrics"
+	"xtreesim/internal/xtree"
+)
+
+// Result is a baseline embedding of a guest into an X-tree.
+type Result struct {
+	Name       string
+	Guest      *bintree.Tree
+	Host       *xtree.XTree
+	Assignment []bitstr.Addr
+}
+
+// Embedding adapts the result for the metrics package.
+func (r *Result) Embedding() *metrics.Embedding {
+	m := make([]int64, len(r.Assignment))
+	for i, a := range r.Assignment {
+		m[i] = a.ID()
+	}
+	return &metrics.Embedding{Guest: r.Guest, Host: metrics.XTreeHost{X: r.Host}, Map: m}
+}
+
+// NaiveTree maps the guest root to ε and every child one level deeper
+// (left→0, right→1) until the host bottoms out; deeper nodes stay on the
+// leaf their parent reached.  Dilation ≤ 1, but the load is unbounded for
+// deep guests.
+func NaiveTree(t *bintree.Tree, height int) *Result {
+	x := xtree.New(height)
+	assign := make([]bitstr.Addr, t.N())
+	for _, v := range t.PreOrder() {
+		p := t.Parent(v)
+		if p == bintree.None {
+			assign[v] = bitstr.Root()
+			continue
+		}
+		pa := assign[p]
+		if pa.Level >= height {
+			assign[v] = pa
+			continue
+		}
+		side := byte(0)
+		if t.Right(p) == v {
+			side = 1
+		}
+		assign[v] = pa.Child(side)
+	}
+	return &Result{Name: "naive-tree", Guest: t, Host: x, Assignment: assign}
+}
+
+// packOrder places the guest nodes, in the given order, 16 per host vertex
+// in heap (level) order.
+func packOrder(name string, t *bintree.Tree, order []int32) *Result {
+	height := core.OptimalHeight(t.N())
+	x := xtree.New(height)
+	assign := make([]bitstr.Addr, t.N())
+	for i, v := range order {
+		assign[v] = bitstr.FromID(int64(i / core.LoadTarget))
+	}
+	return &Result{Name: name, Guest: t, Host: x, Assignment: assign}
+}
+
+// DFSPack fills the optimal host with the guest's preorder sequence,
+// 16 nodes per vertex.  Optimal load and expansion; the dilation is the
+// host distance between packing positions of tree neighbors, which grows
+// with n (second children land far from their parents).
+func DFSPack(t *bintree.Tree) *Result {
+	return packOrder("dfs-pack", t, t.PreOrder())
+}
+
+// BFSPack fills the optimal host with the guest's breadth-first sequence.
+func BFSPack(t *bintree.Tree) *Result {
+	order := make([]int32, 0, t.N())
+	if t.N() > 0 {
+		queue := []int32{t.Root()}
+		var buf []int32
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			buf = t.Children(v, buf[:0])
+			queue = append(queue, buf...)
+		}
+	}
+	return packOrder("bfs-pack", t, order)
+}
+
+// RandomPack fills the optimal host with a uniformly random permutation of
+// the guest, 16 nodes per vertex: the "no locality at all" anchor.
+func RandomPack(t *bintree.Tree, rng *rand.Rand) *Result {
+	order := make([]int32, t.N())
+	for i, v := range rng.Perm(t.N()) {
+		order[i] = int32(v)
+	}
+	return packOrder("random-pack", t, order)
+}
+
+// InorderComplete embeds a heap-shaped guest (node v has children 2v+1,
+// 2v+2) into the X-tree of the same height by the identity on heap ids:
+// dilation 1, load 1, expansion 1.  It errors on any other shape.
+func InorderComplete(t *bintree.Tree) (*Result, error) {
+	n := t.N()
+	for v := int32(0); v < int32(n); v++ {
+		wantL, wantR := 2*v+1, 2*v+2
+		l, r := t.Left(v), t.Right(v)
+		if int(wantL) >= n {
+			wantL = bintree.None
+		}
+		if int(wantR) >= n {
+			wantR = bintree.None
+		}
+		if l != wantL || r != wantR {
+			return nil, fmt.Errorf("baseline: guest is not heap-shaped at node %d", v)
+		}
+	}
+	height := 0
+	for int64(1)<<(uint(height)+1)-1 < int64(n) {
+		height++
+	}
+	x := xtree.New(height)
+	assign := make([]bitstr.Addr, n)
+	for v := 0; v < n; v++ {
+		assign[v] = bitstr.FromID(int64(v))
+	}
+	return &Result{Name: "inorder-complete", Guest: t, Host: x, Assignment: assign}, nil
+}

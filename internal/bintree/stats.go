@@ -1,0 +1,44 @@
+package bintree
+
+// TreeStats summarizes the shape of a guest tree, used to characterize
+// the generator families in the experiment tables.
+type TreeStats struct {
+	N         int
+	Height    int
+	Leaves    int
+	MaxWidth  int     // widest level
+	AvgDepth  float64 // mean node depth
+	Internal3 int     // nodes of full degree 3 (two children + parent)
+}
+
+// Stats computes the summary in one traversal.
+func (t *Tree) Stats() TreeStats {
+	s := TreeStats{N: t.N(), Height: t.Height()}
+	if t.N() == 0 {
+		s.Height = -1
+		return s
+	}
+	depth := make([]int32, t.N())
+	width := map[int32]int{}
+	totalDepth := 0
+	for _, v := range t.PreOrder() {
+		if p := t.parent[v]; p != None {
+			depth[v] = depth[p] + 1
+		}
+		width[depth[v]]++
+		totalDepth += int(depth[v])
+		if t.left[v] == None && t.right[v] == None {
+			s.Leaves++
+		}
+		if t.Degree(v) == 3 {
+			s.Internal3++
+		}
+	}
+	for _, w := range width {
+		if w > s.MaxWidth {
+			s.MaxWidth = w
+		}
+	}
+	s.AvgDepth = float64(totalDepth) / float64(t.N())
+	return s
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+)
+
+// TestCheckerFaultInjection mutates valid embeddings at random and demands
+// the independent checker either still accepts a genuinely-valid variant
+// or flags the corruption.  It quantifies that random single-node moves
+// are almost always caught (a weak checker would wave most of them
+// through).
+func TestCheckerFaultInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	tr := bintree.RandomAttachment(int(Capacity(4)), rng)
+	res, err := EmbedXTree(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+	hostN := res.Host.NumVertices()
+	caught, trials := 0, 300
+	for i := 0; i < trials; i++ {
+		v := int32(rng.Intn(tr.N()))
+		orig := res.Assignment[v]
+		res.Assignment[v] = bitstr.FromID(rng.Int63n(hostN))
+		err := CheckInvariants(res)
+		if err == nil {
+			// Only acceptable if the mutation kept every invariant:
+			// same-vertex move, or a legal relocation.  On an exact
+			// instance any move to a different vertex breaks the
+			// exactly-16 rule, so "no error" implies it stayed put.
+			if res.Assignment[v] != orig {
+				t.Fatalf("checker missed moving node %d from %v to %v",
+					v, orig, res.Assignment[v])
+			}
+		} else {
+			caught++
+		}
+		res.Assignment[v] = orig
+	}
+	if caught < trials/2 {
+		t.Errorf("checker caught only %d/%d random moves", caught, trials)
+	}
+}
+
+// TestCheckerRejectsTruncatedAndAlien checks the structural validations.
+func TestCheckerRejectsTruncatedAndAlien(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	tr := bintree.RandomAttachment(200, rng)
+	res, err := EmbedXTree(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &Result{Guest: res.Guest, Host: res.Host, Assignment: res.Assignment[:100]}
+	if CheckInvariants(short) == nil {
+		t.Error("truncated assignment accepted")
+	}
+	alien := &Result{Guest: res.Guest, Host: res.Host,
+		Assignment: append([]bitstr.Addr(nil), res.Assignment...)}
+	alien.Assignment[0] = bitstr.Addr{Level: res.Host.Height() + 3}
+	if CheckInvariants(alien) == nil {
+		t.Error("out-of-host vertex accepted")
+	}
+}

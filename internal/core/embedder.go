@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/separator"
+	"xtreesim/internal/xtree"
+)
+
+// comp is one unlaid component of the guest: a tree of the forest F_i
+// induced by the not-yet-embedded nodes.
+//
+// anchors are its designated nodes — unlaid nodes adjacent to laid ones.
+// By conditions (5) and (6) of the paper a component has at most two
+// anchors and all their laid neighbors sit on one host vertex, the
+// characteristic address char.  attach is the leaf of the current X-tree
+// level the component is attached to (ρ_i in the paper).
+type comp struct {
+	id      int32
+	size    int32
+	anchors []int32
+	char    bitstr.Addr
+	attach  bitstr.Addr
+	alive   bool
+}
+
+type embedder struct {
+	t    *bintree.Tree
+	x    *xtree.XTree
+	r    int
+	opts Options
+
+	laid   []bool
+	hostOf []bitstr.Addr
+	loads  []int16 // indexed by host vertex id
+
+	comps     map[int32]*comp
+	compOf    []int32 // guest node -> comp id, -1 when laid
+	nextComp  int32
+	attachIdx map[bitstr.Addr][]int32 // attach addr -> comp ids (lazily filtered)
+
+	stats Stats
+
+	nbuf []int32 // scratch for guest adjacency
+}
+
+func newEmbedder(t *bintree.Tree, r int, opts Options) *embedder {
+	n := t.N()
+	e := &embedder{
+		t:         t,
+		x:         xtree.New(r),
+		r:         r,
+		opts:      opts,
+		laid:      make([]bool, n),
+		hostOf:    make([]bitstr.Addr, n),
+		loads:     make([]int16, bitstr.NumVertices(r)),
+		comps:     make(map[int32]*comp),
+		compOf:    make([]int32, n),
+		attachIdx: make(map[bitstr.Addr][]int32),
+	}
+	for i := range e.compOf {
+		e.compOf[i] = -1
+	}
+	return e
+}
+
+// cond3OK reports whether hosts a and b may carry adjacent guest nodes
+// under condition (3′): the deeper one must lie in N(shallower).
+func (e *embedder) cond3OK(a, b bitstr.Addr) bool {
+	if a.Level > b.Level {
+		a, b = b, a
+	}
+	return e.x.InN(a, b)
+}
+
+// layNode places guest node v on host vertex h, updating loads and
+// validating condition (3′) against every laid neighbor.
+func (e *embedder) layNode(v int32, h bitstr.Addr) error {
+	if e.laid[v] {
+		return fmt.Errorf("core: node %d laid twice", v)
+	}
+	e.nbuf = e.t.Neighbors(v, e.nbuf[:0])
+	for _, u := range e.nbuf {
+		if e.laid[u] && !e.cond3OK(e.hostOf[u], h) {
+			e.stats.Cond3Violations++
+			if e.opts.Strict {
+				return fmt.Errorf("core: condition (3') violated laying %d at %v (neighbor %d at %v)",
+					v, h, u, e.hostOf[u])
+			}
+		}
+	}
+	e.laid[v] = true
+	e.hostOf[v] = h
+	e.compOf[v] = -1
+	id := h.ID()
+	e.loads[id]++
+	if int(e.loads[id]) > LoadTarget {
+		e.stats.Overflows++
+	}
+	return nil
+}
+
+// free returns the open slots on a host vertex (may be negative after
+// overflow).
+func (e *embedder) free(h bitstr.Addr) int {
+	return LoadTarget - int(e.loads[h.ID()])
+}
+
+func (e *embedder) maxLoad() int {
+	max := 0
+	for _, l := range e.loads {
+		if int(l) > max {
+			max = int(l)
+		}
+	}
+	return max
+}
+
+// registerComp files a freshly built component under its attach address.
+func (e *embedder) registerComp(c *comp) {
+	e.comps[c.id] = c
+	e.attachIdx[c.attach] = append(e.attachIdx[c.attach], c.id)
+}
+
+// killComp removes a component from the registry.
+func (e *embedder) killComp(c *comp) {
+	c.alive = false
+	delete(e.comps, c.id)
+}
+
+// attachedAt returns the live components currently attached to addr,
+// compacting the lazily-maintained index entry as a side effect.
+func (e *embedder) attachedAt(addr bitstr.Addr) []*comp {
+	ids := e.attachIdx[addr]
+	var out []*comp
+	kept := ids[:0]
+	for _, id := range ids {
+		c, ok := e.comps[id]
+		if !ok || !c.alive || c.attach != addr {
+			continue
+		}
+		kept = append(kept, id)
+		out = append(out, c)
+	}
+	if len(kept) == 0 {
+		delete(e.attachIdx, addr)
+	} else {
+		e.attachIdx[addr] = kept
+	}
+	return out
+}
+
+// reattach moves a surviving component to a new attachment leaf.
+func (e *embedder) reattach(c *comp, addr bitstr.Addr) {
+	c.attach = addr
+	e.attachIdx[addr] = append(e.attachIdx[addr], c.id)
+}
+
+// rebuild floods the remnants of old after the given nodes were laid,
+// creating one new component per connected remnant.  Each remnant's
+// anchors and characteristic address are recomputed from its laid
+// neighbors; new components attach at their characteristic address.
+func (e *embedder) rebuild(old *comp, newlyLaid []int32) {
+	e.killComp(old)
+	var starts []int32
+	var buf []int32
+	for _, x := range newlyLaid {
+		buf = e.t.Neighbors(x, buf[:0])
+		for _, y := range buf {
+			if !e.laid[y] && e.compOf[y] == old.id {
+				starts = append(starts, y)
+			}
+		}
+	}
+	for _, s := range starts {
+		if e.compOf[s] != old.id {
+			continue // already flooded into a new component
+		}
+		e.floodNewComp(s, old.id)
+	}
+}
+
+// floodNewComp builds a new component from start over the unlaid nodes
+// still carrying oldID, computing anchors and the characteristic address.
+func (e *embedder) floodNewComp(start int32, oldID int32) *comp {
+	id := e.nextComp
+	e.nextComp++
+	c := &comp{id: id, alive: true}
+	queue := []int32{start}
+	e.compOf[start] = id
+	var charSet []bitstr.Addr
+	var buf []int32
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		c.size++
+		isAnchor := false
+		buf = e.t.Neighbors(v, buf[:0])
+		for _, w := range buf {
+			if e.laid[w] {
+				isAnchor = true
+				h := e.hostOf[w]
+				found := false
+				for _, cs := range charSet {
+					if cs == h {
+						found = true
+						break
+					}
+				}
+				if !found {
+					charSet = append(charSet, h)
+				}
+				continue
+			}
+			if e.compOf[w] == oldID {
+				e.compOf[w] = id
+				queue = append(queue, w)
+			}
+		}
+		if isAnchor {
+			c.anchors = append(c.anchors, v)
+		}
+	}
+	if len(charSet) == 0 {
+		// Unreachable in normal operation: every remnant touches a
+		// laid separator node.  Anchor at the root defensively.
+		charSet = append(charSet, bitstr.Root())
+	}
+	if len(charSet) > 1 {
+		e.stats.StretchedComps++
+		// Keep the deepest address: its anchors come due soonest.
+		for _, cs := range charSet[1:] {
+			if cs.Level > charSet[0].Level {
+				charSet[0] = cs
+			}
+		}
+	}
+	c.char = charSet[0]
+	c.attach = c.char
+	e.registerComp(c)
+	return c
+}
+
+// rootedFor builds the separator view of a component, rooted at its first
+// anchor.  The second return value is the guest id handed to the lemmas as
+// the second designated node r2 (the other anchor, or the root itself).
+func (e *embedder) rootedFor(c *comp) (*separator.Rooted, int32) {
+	root := c.anchors[0]
+	r2 := root
+	if len(c.anchors) > 1 {
+		r2 = c.anchors[1]
+	}
+	rt := separator.BuildSized(e.t.Neighbors, root, func(v int32) bool {
+		return !e.laid[v] && e.compOf[v] == c.id
+	}, int(c.size))
+	return rt, r2
+}
+
+// moveCompWhole lays every anchor of c on target and re-anchors the
+// remnants there.  Returns the number of nodes newly laid.
+func (e *embedder) moveCompWhole(c *comp, target bitstr.Addr) (int, error) {
+	laidNow := make([]int32, 0, len(c.anchors))
+	for _, a := range c.anchors {
+		if e.laid[a] {
+			continue
+		}
+		if err := e.layNode(a, target); err != nil {
+			return len(laidNow), err
+		}
+		laidNow = append(laidNow, a)
+	}
+	e.rebuild(c, laidNow)
+	return len(laidNow), nil
+}
+
+// splitComp applies Lemma 2 with the given target to component c, laying
+// S1 on hStay and S2 on hMove.  The remnants re-anchor automatically at
+// whichever vertex their separator neighbors were laid on.  It returns the
+// sizes laid on each side.
+func (e *embedder) splitComp(c *comp, target int, hStay, hMove bitstr.Addr) (s1, s2 int, err error) {
+	rt, r2 := e.rootedFor(c)
+	sp, err := separator.Lemma2(rt, r2, target)
+	if err != nil {
+		return 0, 0, err
+	}
+	var laidNow []int32
+	for _, g := range sp.S1 {
+		if err := e.layNode(g, hStay); err != nil {
+			return s1, s2, err
+		}
+		laidNow = append(laidNow, g)
+		s1++
+	}
+	for _, g := range sp.S2 {
+		if err := e.layNode(g, hMove); err != nil {
+			return s1, s2, err
+		}
+		laidNow = append(laidNow, g)
+		s2++
+	}
+	e.rebuild(c, laidNow)
+	return s1, s2, nil
+}
+
+// splitSizes pre-computes the separator sets of a Lemma 2 split without
+// applying it, so callers can check placement budgets first.
+func (e *embedder) splitSizes(c *comp, target int) (sp separator.Split, rt *separator.Rooted, err error) {
+	rt, r2 := e.rootedFor(c)
+	sp, err = separator.Lemma2(rt, r2, target)
+	return sp, rt, err
+}
+
+// applySplit lays a precomputed split.
+func (e *embedder) applySplit(c *comp, sp separator.Split, hStay, hMove bitstr.Addr) error {
+	var laidNow []int32
+	for _, g := range sp.S1 {
+		if err := e.layNode(g, hStay); err != nil {
+			return err
+		}
+		laidNow = append(laidNow, g)
+	}
+	for _, g := range sp.S2 {
+		if err := e.layNode(g, hMove); err != nil {
+			return err
+		}
+		laidNow = append(laidNow, g)
+	}
+	e.rebuild(c, laidNow)
+	return nil
+}

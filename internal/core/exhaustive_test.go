@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+)
+
+// TestExhaustiveSmallShapes embeds EVERY binary-tree shape with up to 9
+// nodes and cross-checks the result with the independent invariant
+// checker.  Small instances exercise the degenerate paths (single-vertex
+// hosts, empty components, immediate fill-up).
+func TestExhaustiveSmallShapes(t *testing.T) {
+	maxN := 9
+	if testing.Short() {
+		maxN = 7
+	}
+	for n := 1; n <= maxN; n++ {
+		for _, tr := range bintree.AllShapes(n) {
+			res, err := EmbedXTree(tr, Options{Height: -1, Strict: true})
+			if err != nil {
+				t.Fatalf("n=%d shape %q: %v", n, tr.Encode(), err)
+			}
+			if err := CheckInvariants(res); err != nil {
+				t.Fatalf("n=%d shape %q: %v", n, tr.Encode(), err)
+			}
+		}
+	}
+}
+
+// TestSampledShapesIntoX1 forces thousands of random shapes with
+// 17..48 nodes onto the three-vertex host X(1), where the seed, SPLIT(ε)
+// and the final pass interact most tightly.
+func TestSampledShapesIntoX1(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	trials := 3000
+	if testing.Short() {
+		trials = 500
+	}
+	for i := 0; i < trials; i++ {
+		n := 17 + rng.Intn(32)
+		var tr *bintree.Tree
+		if i%2 == 0 {
+			tr = bintree.RandomAttachment(n, rng)
+		} else {
+			tr = bintree.RandomBSTShape(n, rng)
+		}
+		res, err := EmbedXTree(tr, Options{Height: 1, Strict: true})
+		if err != nil {
+			t.Fatalf("n=%d shape %q: %v", n, tr.Encode(), err)
+		}
+		if err := CheckInvariants(res); err != nil {
+			t.Fatalf("n=%d shape %q: %v", n, tr.Encode(), err)
+		}
+	}
+}
+
+// TestCheckerCatchesCorruption makes sure the independent checker is not
+// vacuous.
+func TestCheckerCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := bintree.RandomAttachment(int(Capacity(3)), rng)
+	res, err := EmbedXTree(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+	// Move one node to a far corner: the N-relation must break for at
+	// least one of its edges (node 5 has a neighbor somewhere, and no
+	// vertex is N-related to both the all-ones leaf and wherever that
+	// neighbor is, except in tiny hosts — X(3) is big enough).
+	orig := res.Assignment[5]
+	res.Assignment[5] = bitstr.Addr{Level: res.Host.Height(), Index: 0}
+	bad1 := CheckInvariants(res)
+	res.Assignment[5] = bitstr.Addr{Level: res.Host.Height(),
+		Index: uint64(1)<<uint(res.Host.Height()) - 1}
+	bad2 := CheckInvariants(res)
+	if bad1 == nil && bad2 == nil {
+		t.Error("corrupted assignment accepted")
+	}
+	res.Assignment[5] = orig
+	// Overload one vertex: move a node from a different vertex onto
+	// node 6's vertex.
+	other := int32(-1)
+	for v := int32(0); v < int32(tr.N()); v++ {
+		if res.Assignment[v] != res.Assignment[6] {
+			other = v
+			break
+		}
+	}
+	if other < 0 {
+		t.Fatal("all nodes on one vertex?")
+	}
+	res.Assignment[other] = res.Assignment[6]
+	if err := CheckInvariants(res); err == nil {
+		t.Error("load-17 vertex accepted on exact instance")
+	}
+}
+
+// TestFibonacciGuests runs the maximally AVL-unbalanced shapes through the
+// full pipeline.
+func TestFibonacciGuests(t *testing.T) {
+	for k := 2; k <= 16; k++ {
+		tr := bintree.Fibonacci(k)
+		res, err := EmbedXTree(tr, Options{Height: -1, Strict: true})
+		if err != nil {
+			t.Fatalf("F(%d): %v", k, err)
+		}
+		if err := CheckInvariants(res); err != nil {
+			t.Fatalf("F(%d): %v", k, err)
+		}
+		if d := res.Dilation(); d > 3 {
+			t.Errorf("F(%d): dilation %d", k, d)
+		}
+	}
+}
+
+// TestAblations quantifies what the phases buy.  With the iterated
+// leveling cut, SPLIT alone balances a path guest perfectly, so the
+// sharp contrasts are: (a) the full pipeline is always clean, (b) turning
+// the leveling OFF on a path guest forces out-of-neighborhood fallbacks
+// (ADJUST alone cannot recover), and (c) turning ADJUST off breaks
+// *random* guests at larger sizes, so neither phase is redundant.
+func TestAblations(t *testing.T) {
+	tr := bintree.Path(int(Capacity(7)))
+	full, err := EmbedXTree(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.FinalFallbacks != 0 || full.Stats.Cond3Violations != 0 {
+		t.Fatalf("full pipeline not clean: %+v", full.Stats)
+	}
+	if sum(full.Stats.MaxImbalance) != 0 {
+		t.Errorf("full pipeline leaves imbalance: %v", full.Stats.MaxImbalance)
+	}
+
+	noLvl, err := EmbedXTree(tr, Options{Height: -1, DisableLeveling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noLvl.Stats.FinalFallbacks == 0 && noLvl.Stats.Cond3Violations == 0 &&
+		sum(noLvl.Stats.MaxImbalance) <= sum(full.Stats.MaxImbalance) {
+		t.Errorf("disabling the leveling cut had no cost on a path guest: %+v", noLvl.Stats)
+	}
+
+	// Both off: the imbalance has nothing contracting it.
+	noBoth, err := EmbedXTree(tr, Options{Height: -1, DisableAdjust: true, DisableLeveling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(noBoth.Stats.MaxImbalance) <= sum(full.Stats.MaxImbalance) {
+		t.Errorf("disabling both phases left imbalance %v", noBoth.Stats.MaxImbalance)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

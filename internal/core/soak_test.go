@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bintree"
+)
+
+// TestSoakAllFamilies hammers the embedder with many seeds and odd sizes
+// per family, in parallel, cross-checking every result with the
+// independent invariant checker.  This is the long-running robustness
+// gate; -short trims it heavily.
+func TestSoakAllFamilies(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 8
+	}
+	for _, f := range bintree.Families {
+		f := f
+		t.Run(string(f), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(len(f))))
+			for i := 0; i < trials; i++ {
+				var n int
+				switch i % 3 {
+				case 0: // exact theorem sizes
+					n = int(Capacity(2 + rng.Intn(6)))
+				case 1: // just above a capacity boundary
+					n = int(Capacity(2+rng.Intn(5))) + 1 + rng.Intn(10)
+				default: // arbitrary
+					n = 1 + rng.Intn(6000)
+				}
+				tr, err := bintree.Generate(f, n, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := EmbedXTree(tr, Options{Height: -1, Strict: true})
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if err := CheckInvariants(res); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if d := res.Dilation(); d > 3 {
+					t.Fatalf("n=%d: dilation %d", n, d)
+				}
+			}
+		})
+	}
+}
+
+// TestSoakForcedHeights embeds with deliberately oversized hosts: the slack
+// must never hurt the bounds.
+func TestSoakForcedHeights(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < trials; i++ {
+		n := 1 + rng.Intn(800)
+		extra := 1 + rng.Intn(3)
+		tr := bintree.RandomAttachment(n, rng)
+		res, err := EmbedXTree(tr, Options{Height: OptimalHeight(n) + extra, Strict: true})
+		if err != nil {
+			t.Fatalf("n=%d extra=%d: %v", n, extra, err)
+		}
+		if err := CheckInvariants(res); err != nil {
+			t.Fatalf("n=%d extra=%d: %v", n, extra, err)
+		}
+	}
+}
+
+// TestDeterminism pins that the embedder is a pure function of its inputs.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	tr := bintree.RandomAttachment(int(Capacity(5)), rng)
+	a, err := EmbedXTree(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EmbedXTree(tr, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Assignment {
+		if a.Assignment[v] != b.Assignment[v] {
+			t.Fatalf("node %d: %v vs %v — embedder is nondeterministic",
+				v, a.Assignment[v], b.Assignment[v])
+		}
+	}
+	if fmt.Sprint(a.Stats) != fmt.Sprint(b.Stats) {
+		t.Errorf("stats differ between identical runs:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+// TestSoakLargeInstances pushes strict-mode embeddings to 131k-node guests
+// (skipped under -short).
+func TestSoakLargeInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instances")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range []int{11, 12} {
+		for _, f := range []bintree.Family{bintree.FamilyPath, bintree.FamilyRandom, bintree.FamilyCaterpillar} {
+			tr, err := bintree.Generate(f, int(Capacity(r)), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := EmbedXTree(tr, Options{Height: -1, Strict: true})
+			if err != nil {
+				t.Fatalf("%s r=%d: %v", f, r, err)
+			}
+			if err := CheckInvariants(res); err != nil {
+				t.Fatalf("%s r=%d: %v", f, r, err)
+			}
+			if d := res.Dilation(); d > 3 {
+				t.Errorf("%s r=%d: dilation %d", f, r, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format.  label may be nil, in
+// which case vertices are labeled with their integer id.
+func (g *Graph) WriteDOT(w io.Writer, name string, label func(int) string) error {
+	if label == nil {
+		label = func(u int) string { return fmt.Sprintf("%d", u) }
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", u, label(u)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d;\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/hypercube"
+	"xtreesim/internal/xtree"
+)
+
+// XTreeHost adapts an X-tree to the Host interface via bitstr heap ids.
+type XTreeHost struct{ X *xtree.XTree }
+
+// NumVertices implements Host.
+func (h XTreeHost) NumVertices() int64 { return h.X.NumVertices() }
+
+// Distance implements Host.
+func (h XTreeHost) Distance(u, v int64) int {
+	return h.X.Distance(bitstr.FromID(u), bitstr.FromID(v))
+}
+
+// HypercubeHost adapts a hypercube to the Host interface (vertex ids are
+// the labels).
+type HypercubeHost struct{ H *hypercube.Hypercube }
+
+// NumVertices implements Host.
+func (h HypercubeHost) NumVertices() int64 { return h.H.NumVertices() }
+
+// Distance implements Host.
+func (h HypercubeHost) Distance(u, v int64) int {
+	return h.H.Distance(uint64(u), uint64(v))
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+
+	"xtreesim/internal/bintree"
+)
+
+// parallelThreshold is the guest size above which edge metrics fan out
+// over worker goroutines.  Distance oracles must be safe for concurrent
+// use (all hosts in this module are: they keep no per-call state).
+const parallelThreshold = 1 << 14
+
+// DilationParallel computes the dilation like Dilation but shards the
+// guest edges over GOMAXPROCS workers.  Results are identical; use it for
+// large instances where the distance oracle dominates.
+func (e *Embedding) DilationParallel() int {
+	n := e.Guest.N()
+	if n < parallelThreshold {
+		return e.Dilation()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	maxes := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			max := 0
+			for v := int32(lo); v < int32(hi); v++ {
+				p := e.Guest.Parent(v)
+				if p == bintree.None {
+					continue
+				}
+				if d := e.Host.Distance(e.Map[v], e.Map[p]); d > max {
+					max = d
+				}
+			}
+			maxes[w] = max
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	max := 0
+	for _, m := range maxes {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}

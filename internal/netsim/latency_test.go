@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/core"
+)
+
+func TestLatencyStatsOnIdealMachine(t *testing.T) {
+	// One hop per message on the ideal machine: every latency is 1.
+	tr := bintree.Complete(5)
+	res := runOnTree(t, tr, NewBroadcast(tr))
+	if res.LatencyP50 != 1 || res.LatencyP99 != 1 || res.LatencyMax != 1 {
+		t.Errorf("ideal broadcast latencies = %d/%d/%d, want 1/1/1",
+			res.LatencyP50, res.LatencyP99, res.LatencyMax)
+	}
+}
+
+func TestLatencyOrderingAndBounds(t *testing.T) {
+	tr := bintree.CompleteN(int(core.Capacity(4)))
+	emb, err := core.EmbedXTree(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := make([]int32, tr.N())
+	for v, a := range emb.Assignment {
+		place[v] = int32(a.ID())
+	}
+	res, err := Run(Config{Host: emb.Host.AsGraph(), Place: place}, NewDivideConquer(tr, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.LatencyP50 <= res.LatencyP99 && res.LatencyP99 <= res.LatencyMax) {
+		t.Errorf("latency percentiles out of order: %d/%d/%d",
+			res.LatencyP50, res.LatencyP99, res.LatencyMax)
+	}
+	if res.LatencyMax > res.Cycles {
+		t.Errorf("max latency %d exceeds makespan %d", res.LatencyMax, res.Cycles)
+	}
+	if res.LatencyP50 < 1 {
+		t.Errorf("median latency %d < 1", res.LatencyP50)
+	}
+	// With dilation ≤ 3 and bounded queuing, even the tail stays small.
+	if res.LatencyMax > 64 {
+		t.Errorf("tail latency %d suspiciously large", res.LatencyMax)
+	}
+}
+
+func TestLatencyEmptyRun(t *testing.T) {
+	tr := bintree.Path(1)
+	res := runOnTree(t, tr, NewDivideConquer(tr, 1))
+	if res.LatencyMax != 0 || res.LatencyP50 != 0 {
+		t.Errorf("no-message run has latencies %+v", res)
+	}
+}

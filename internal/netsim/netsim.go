@@ -1,0 +1,294 @@
+// Package netsim is a synchronous message-passing network simulator: the
+// substrate on which the embedding's promise is actually demonstrated.
+//
+// The paper's motivation (§1) is that an X-tree parallel machine can
+// simulate programs written for a binary-tree machine with constant
+// slowdown, because the embedding keeps formerly adjacent processors
+// within 3 hops.  No such machine exists to measure, so this package
+// simulates one: vertices are processors, edges are full-duplex links that
+// move one message per direction per cycle (store-and-forward routing
+// along shortest paths), guest processes are pinned to host vertices by an
+// embedding, and tree-shaped workloads (divide-and-conquer, broadcast,
+// reduction waves) run to completion.  Messages between co-located guests
+// pass through memory in one cycle without using links.  The measured
+// makespan ratio between the host and the ideal guest machine is the
+// slowdown the dilation actually induces.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"xtreesim/internal/graph"
+)
+
+// MaxHostVertices bounds the routing-table size (V² next-hop entries).
+const MaxHostVertices = 4096
+
+// Event is a guest-level message between two guest processes.
+type Event struct {
+	From, To int32
+	Kind     int32
+	Payload  int64
+}
+
+// Workload drives the guest processes.  Implementations must be
+// deterministic: the simulator delivers messages in a fixed order.
+type Workload interface {
+	// Init emits the initial events (e.g. the root spawning tasks).
+	Init(emit func(Event))
+	// OnMessage handles the delivery of ev at guest process ev.To.
+	OnMessage(ev Event, emit func(Event))
+	// Done reports whether the workload has logically completed.
+	Done() bool
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Host      *graph.Graph
+	Place     []int32 // guest process -> host vertex
+	MaxCycles int     // safety cap; 0 means 1<<20
+	// NextHop, when non-nil, replaces the precomputed routing tables:
+	// it must return a neighbor of cur strictly closer to dst.  With a
+	// topology-aware router (e.g. xtree.Router) this lifts the
+	// MaxHostVertices cap, which only bounds the V² table memory.
+	NextHop func(cur, dst int32) int32
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles      int // makespan until quiescence
+	Delivered   int // guest messages delivered
+	HopsTotal   int // link traversals consumed
+	MaxLinkLoad int // heaviest total traffic on one directed link
+	MaxQueue    int // longest link backlog observed
+	// Per-message latency (emit to delivery, in cycles): median, 99th
+	// percentile and maximum.  Makespan hides queuing tails; these
+	// don't.
+	LatencyP50 int
+	LatencyP99 int
+	LatencyMax int
+}
+
+type message struct {
+	ev      Event
+	dstHost int32
+	sentAt  int
+}
+
+type sim struct {
+	host    *graph.Graph
+	place   []int32
+	wl      Workload
+	nextHop [][]int32                  // nextHop[dst][cur] = neighbor of cur toward dst
+	hopFn   func(cur, dst int32) int32 // overrides the tables when non-nil
+
+	edges     [][2]int32    // directed edges in deterministic order
+	edgeIndex map[int64]int // (u<<32)|v -> index into edges/queues
+	queues    [][]message   // per directed edge, FIFO
+	traffic   []int         // total messages ever moved per edge
+	local     [][]message   // per-vertex memory queues
+
+	inflight  int
+	now       int   // current cycle
+	latencies []int // per delivered message, in cycles
+	res       Result
+}
+
+// Run simulates the workload on the host with the given placement until
+// quiescence (no messages in flight) or the cycle cap.  A run that goes
+// quiescent before the workload reports Done is a deadlock and errors.
+func Run(cfg Config, wl Workload) (Result, error) {
+	if cfg.Host == nil || len(cfg.Place) == 0 {
+		return Result{}, fmt.Errorf("netsim: empty host or placement")
+	}
+	if cfg.NextHop == nil && cfg.Host.N() > MaxHostVertices {
+		return Result{}, fmt.Errorf("netsim: host has %d vertices, limit %d (pass a NextHop router to lift it)", cfg.Host.N(), MaxHostVertices)
+	}
+	for p, h := range cfg.Place {
+		if h < 0 || int(h) >= cfg.Host.N() {
+			return Result{}, fmt.Errorf("netsim: process %d placed on invalid vertex %d", p, h)
+		}
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 20
+	}
+	s := &sim{host: cfg.Host, place: cfg.Place, wl: wl, hopFn: cfg.NextHop}
+	if s.hopFn == nil {
+		s.buildRouting()
+	}
+	s.buildEdges()
+	s.local = make([][]message, cfg.Host.N())
+
+	var emitted []Event
+	emit := func(ev Event) { emitted = append(emitted, ev) }
+	wl.Init(emit)
+	if err := s.route(emitted); err != nil {
+		return s.res, err
+	}
+
+	for cycle := 1; cycle <= maxCycles; cycle++ {
+		s.now = cycle
+		if s.inflight == 0 {
+			s.res.Cycles = cycle - 1
+			s.finishStats()
+			if !s.wl.Done() {
+				return s.res, fmt.Errorf("netsim: quiescent after %d cycles but workload not done", cycle-1)
+			}
+			return s.res, nil
+		}
+		// Phase 1: one message crosses every busy link; all memory
+		// queues drain.
+		var arrived []message // at-destination deliveries this cycle
+		for i := range s.queues {
+			if len(s.queues[i]) == 0 {
+				continue
+			}
+			m := s.queues[i][0]
+			s.queues[i] = s.queues[i][1:]
+			here := s.edges[i][1]
+			s.res.HopsTotal++
+			s.traffic[i]++
+			if m.dstHost == here {
+				arrived = append(arrived, m)
+			} else {
+				if err := s.enqueue(here, m); err != nil {
+					return s.res, err
+				}
+			}
+		}
+		for v := range s.local {
+			if len(s.local[v]) > 0 {
+				arrived = append(arrived, s.local[v]...)
+				s.local[v] = nil
+			}
+		}
+		// Phase 2: deliver in a deterministic order and route the
+		// responses.
+		sort.Slice(arrived, func(a, b int) bool {
+			x, y := arrived[a].ev, arrived[b].ev
+			if x.To != y.To {
+				return x.To < y.To
+			}
+			if x.From != y.From {
+				return x.From < y.From
+			}
+			return x.Kind < y.Kind
+		})
+		emitted = emitted[:0]
+		for _, m := range arrived {
+			s.inflight--
+			s.res.Delivered++
+			s.latencies = append(s.latencies, cycle-m.sentAt)
+			s.wl.OnMessage(m.ev, emit)
+		}
+		if err := s.route(emitted); err != nil {
+			return s.res, err
+		}
+		for i := range s.queues {
+			if q := len(s.queues[i]); q > s.res.MaxQueue {
+				s.res.MaxQueue = q
+			}
+		}
+	}
+	s.finishStats()
+	return s.res, fmt.Errorf("netsim: no quiescence within %d cycles", maxCycles)
+}
+
+// route injects freshly emitted guest messages at their source vertices.
+func (s *sim) route(evs []Event) error {
+	for _, ev := range evs {
+		if int(ev.From) >= len(s.place) || int(ev.To) >= len(s.place) || ev.From < 0 || ev.To < 0 {
+			return fmt.Errorf("netsim: event %v references unknown process", ev)
+		}
+		src, dst := s.place[ev.From], s.place[ev.To]
+		s.inflight++
+		m := message{ev: ev, dstHost: dst, sentAt: s.now}
+		if src == dst {
+			s.local[src] = append(s.local[src], m)
+			continue
+		}
+		if err := s.enqueue(src, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enqueue places m on the outgoing link of `at` toward its destination.
+func (s *sim) enqueue(at int32, m message) error {
+	var nh int32
+	if s.hopFn != nil {
+		nh = s.hopFn(at, m.dstHost)
+	} else {
+		nh = s.nextHop[m.dstHost][at]
+	}
+	if nh < 0 {
+		return fmt.Errorf("netsim: no route from %d to %d", at, m.dstHost)
+	}
+	idx, ok := s.edgeIndex[int64(at)<<32|int64(nh)]
+	if !ok {
+		return fmt.Errorf("netsim: missing edge %d->%d", at, nh)
+	}
+	s.queues[idx] = append(s.queues[idx], m)
+	return nil
+}
+
+// buildRouting fills the per-destination next-hop tables by one BFS per
+// destination.
+func (s *sim) buildRouting() {
+	n := s.host.N()
+	s.nextHop = make([][]int32, n)
+	for dst := 0; dst < n; dst++ {
+		nh := make([]int32, n)
+		for i := range nh {
+			nh[i] = -1
+		}
+		nh[dst] = int32(dst)
+		queue := []int32{int32(dst)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range s.host.Neighbors(int(u)) {
+				if nh[v] < 0 {
+					nh[v] = u // next hop from v toward dst is u
+					queue = append(queue, v)
+				}
+			}
+		}
+		s.nextHop[dst] = nh
+	}
+}
+
+// buildEdges enumerates the directed edges deterministically.
+func (s *sim) buildEdges() {
+	s.edgeIndex = make(map[int64]int)
+	for u := 0; u < s.host.N(); u++ {
+		ns := append([]int32(nil), s.host.Neighbors(u)...)
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		for _, v := range ns {
+			s.edgeIndex[int64(u)<<32|int64(v)] = len(s.edges)
+			s.edges = append(s.edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	s.queues = make([][]message, len(s.edges))
+	s.traffic = make([]int, len(s.edges))
+}
+
+// finishStats folds per-link traffic into the result (called by Run's
+// return paths via defer-free explicit calls in tests; exposed for reuse).
+func (s *sim) finishStats() {
+	for _, t := range s.traffic {
+		if t > s.res.MaxLinkLoad {
+			s.res.MaxLinkLoad = t
+		}
+	}
+	if len(s.latencies) == 0 {
+		return
+	}
+	sort.Ints(s.latencies)
+	s.res.LatencyP50 = s.latencies[len(s.latencies)/2]
+	s.res.LatencyP99 = s.latencies[len(s.latencies)*99/100]
+	s.res.LatencyMax = s.latencies[len(s.latencies)-1]
+}

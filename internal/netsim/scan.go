@@ -1,0 +1,135 @@
+package netsim
+
+import "xtreesim/internal/bintree"
+
+// Message kinds for the scan workload.
+const (
+	KindScanUp   int32 = 4 // partial sums flowing to the root
+	KindScanDown int32 = 5 // prefix offsets flowing back down
+)
+
+// Scan is the classic parallel-prefix computation on a tree: an up-sweep
+// reduces the leaf values to the root, then a down-sweep distributes
+// prefix offsets back to every node.  Each node holds the value 1, so the
+// final prefix of node v equals its (1-based) position in the in-order-ish
+// traversal; the workload checks its own result, making it a functional
+// test of the simulated machine and not just a traffic generator.
+type Scan struct {
+	T *bintree.Tree
+
+	pending []int8  // children still to report in the up-sweep
+	sum     []int64 // subtree sums
+	prefix  []int64 // received offsets (exclusive, before own subtree)
+	done    int
+	ok      bool
+}
+
+// NewScan builds the workload.
+func NewScan(t *bintree.Tree) *Scan {
+	return &Scan{
+		T:       t,
+		pending: make([]int8, t.N()),
+		sum:     make([]int64, t.N()),
+		prefix:  make([]int64, t.N()),
+	}
+}
+
+// Init implements Workload: the leaves start the up-sweep.
+func (s *Scan) Init(emit func(Event)) {
+	var buf []int32
+	for v := int32(0); v < int32(s.T.N()); v++ {
+		buf = s.T.Children(v, buf[:0])
+		s.pending[v] = int8(len(buf))
+		s.sum[v] = 1
+	}
+	for v := int32(0); v < int32(s.T.N()); v++ {
+		if s.pending[v] == 0 {
+			s.finishUp(v, emit)
+		}
+	}
+}
+
+// finishUp forwards a completed subtree sum, or starts the down-sweep at
+// the root.
+func (s *Scan) finishUp(v int32, emit func(Event)) {
+	if p := s.T.Parent(v); p != bintree.None {
+		emit(Event{From: v, To: p, Kind: KindScanUp, Payload: s.sum[v]})
+		return
+	}
+	// Root: its exclusive prefix is 0; kick off the down-sweep.
+	s.receiveDown(v, 0, emit)
+}
+
+// receiveDown handles a prefix offset arriving at v (offset excludes v's
+// whole subtree context above it).
+func (s *Scan) receiveDown(v int32, offset int64, emit func(Event)) {
+	s.prefix[v] = offset
+	// In-order style: left subtree first, then v itself, then right.
+	next := offset
+	if l := s.T.Left(v); l != bintree.None {
+		emit(Event{From: v, To: l, Kind: KindScanDown, Payload: next})
+		next += s.sum[l]
+	}
+	next++ // v itself
+	if r := s.T.Right(v); r != bintree.None {
+		emit(Event{From: v, To: r, Kind: KindScanDown, Payload: next})
+	}
+	s.done++
+	if s.done == s.T.N() {
+		s.ok = s.verify()
+	}
+}
+
+// OnMessage implements Workload.
+func (s *Scan) OnMessage(ev Event, emit func(Event)) {
+	v := ev.To
+	switch ev.Kind {
+	case KindScanUp:
+		s.sum[v] += ev.Payload
+		s.pending[v]--
+		if s.pending[v] == 0 {
+			s.finishUp(v, emit)
+		}
+	case KindScanDown:
+		s.receiveDown(v, ev.Payload, emit)
+	}
+}
+
+// Done implements Workload.
+func (s *Scan) Done() bool { return s.done == s.T.N() && s.ok }
+
+// Prefix returns the computed inclusive prefix value of v (its in-order
+// position), valid after the run.
+func (s *Scan) Prefix(v int32) int64 {
+	off := s.prefix[v]
+	if l := s.T.Left(v); l != bintree.None {
+		off += s.sum[l]
+	}
+	return off + 1
+}
+
+// verify checks the scan result against a sequential in-order traversal.
+func (s *Scan) verify() bool {
+	if s.T.N() == 0 {
+		return true
+	}
+	want := int64(0)
+	okAll := true
+	// Iterative in-order traversal (deep paths must not recurse).
+	var stack []int32
+	cur := s.T.Root()
+	for cur != bintree.None || len(stack) > 0 {
+		for cur != bintree.None {
+			stack = append(stack, cur)
+			cur = s.T.Left(cur)
+		}
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		want++
+		if s.Prefix(cur) != want {
+			okAll = false
+		}
+		cur = s.T.Right(cur)
+	}
+	return okAll
+}

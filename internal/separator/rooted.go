@@ -1,0 +1,203 @@
+// Package separator implements the tree-separation lemmas of Monien
+// (SPAA '91, §2): given a binary tree with up to two designated nodes and a
+// target size A, it produces small separator sets S1, S2 whose removal of
+// the S1–S2 edges splits the tree into a part of size ≈ A and the rest,
+// with the designated nodes inside S1 ∪ S2 and each S_i collinear in its
+// part.  Lemma 1 achieves balance error ⌊(A+1)/3⌋ with |S1| ≤ 4, |S2| ≤ 2;
+// Lemma 2 achieves ⌊(A+4)/9⌋ with |S1|, |S2| ≤ 4.
+//
+// The lemmas are the workhorses of the procedures ADJUST and SPLIT in the
+// embedding algorithm: every horizontal edge of the X-tree gets one such
+// split per round to re-balance the halves.
+package separator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AdjFunc enumerates the neighbors of a guest node by appending them to buf.
+// A binary-tree guest returns at most 3 neighbors.
+type AdjFunc func(v int32, buf []int32) []int32
+
+// Rooted is a rooted view of one tree component of the guest, built by a
+// BFS from a chosen root over the nodes accepted by a membership filter.
+// Locals index into the internal arrays; guests are the original node ids.
+type Rooted struct {
+	nodes  []int32 // local -> guest, nodes[0] is the root
+	pos    map[int32]int32
+	parent []int32 // local -> local, -1 at root
+	kids   [][]int32
+	size   []int32
+	depth  []int32
+	tin    []int32 // Euler intervals for O(1) ancestor tests
+	tout   []int32
+}
+
+// Build roots the component containing root.  member may be nil to accept
+// every node reachable through adj.  adj must describe a forest (no cycles);
+// Build does not re-check this.
+func Build(adj AdjFunc, root int32, member func(int32) bool) *Rooted {
+	return BuildSized(adj, root, member, 0)
+}
+
+// BuildSized is Build with a capacity hint for the component size, which
+// avoids rehashing and regrowth on the embedder's hot path.
+func BuildSized(adj AdjFunc, root int32, member func(int32) bool, sizeHint int) *Rooted {
+	if sizeHint < 1 {
+		sizeHint = 1
+	}
+	r := &Rooted{
+		pos:    make(map[int32]int32, sizeHint),
+		nodes:  make([]int32, 0, sizeHint),
+		parent: make([]int32, 0, sizeHint),
+		depth:  make([]int32, 0, sizeHint),
+		kids:   make([][]int32, 0, sizeHint),
+	}
+	r.nodes = append(r.nodes, root)
+	r.pos[root] = 0
+	r.parent = append(r.parent, -1)
+	r.depth = append(r.depth, 0)
+	var buf []int32
+	// BFS; kids recorded in discovery order.
+	r.kids = append(r.kids, nil)
+	for head := 0; head < len(r.nodes); head++ {
+		v := r.nodes[head]
+		buf = adj(v, buf[:0])
+		for _, w := range buf {
+			if member != nil && !member(w) {
+				continue
+			}
+			if _, seen := r.pos[w]; seen {
+				continue
+			}
+			local := int32(len(r.nodes))
+			r.nodes = append(r.nodes, w)
+			r.pos[w] = local
+			r.parent = append(r.parent, int32(head))
+			r.depth = append(r.depth, r.depth[head]+1)
+			r.kids = append(r.kids, nil)
+			r.kids[head] = append(r.kids[head], local)
+		}
+	}
+	r.computeOrder()
+	return r
+}
+
+// computeOrder fills sizes and Euler intervals iteratively.
+func (r *Rooted) computeOrder() {
+	n := len(r.nodes)
+	r.size = make([]int32, n)
+	r.tin = make([]int32, n)
+	r.tout = make([]int32, n)
+	timer := int32(0)
+	type frame struct {
+		v    int32
+		next int
+	}
+	stack := []frame{{0, 0}}
+	r.tin[0] = timer
+	timer++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(r.kids[f.v]) {
+			c := r.kids[f.v][f.next]
+			f.next++
+			r.tin[c] = timer
+			timer++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		r.tout[f.v] = timer
+		timer++
+		r.size[f.v] = 1
+		for _, c := range r.kids[f.v] {
+			r.size[f.v] += r.size[c]
+		}
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// N returns the number of nodes in the component.
+func (r *Rooted) N() int { return len(r.nodes) }
+
+// Guest returns the guest id of a local node.
+func (r *Rooted) Guest(local int32) int32 { return r.nodes[local] }
+
+// Local returns the local index of a guest node, if present.
+func (r *Rooted) Local(guest int32) (int32, bool) {
+	l, ok := r.pos[guest]
+	return l, ok
+}
+
+// Root returns the local index of the root (always 0).
+func (r *Rooted) Root() int32 { return 0 }
+
+// Parent returns the local parent of a local node, -1 at the root.
+func (r *Rooted) Parent(local int32) int32 { return r.parent[local] }
+
+// Children returns the local children (owned by the Rooted; do not modify).
+func (r *Rooted) Children(local int32) []int32 { return r.kids[local] }
+
+// Size returns the subtree size of a local node.
+func (r *Rooted) Size(local int32) int32 { return r.size[local] }
+
+// IsAncestor reports whether a is an ancestor of b (a == b counts).
+func (r *Rooted) IsAncestor(a, b int32) bool {
+	return r.tin[a] <= r.tin[b] && r.tout[b] <= r.tout[a]
+}
+
+// LCA returns the lowest common ancestor of two local nodes by walking up
+// from the deeper one.  Linear in the depth difference; fine for the
+// constant number of calls each lemma makes.
+func (r *Rooted) LCA(a, b int32) int32 {
+	for r.depth[a] > r.depth[b] {
+		a = r.parent[a]
+	}
+	for r.depth[b] > r.depth[a] {
+		b = r.parent[b]
+	}
+	for a != b {
+		a = r.parent[a]
+		b = r.parent[b]
+	}
+	return a
+}
+
+// SubtreeGuests appends the guest ids of the subtree rooted at local to buf.
+func (r *Rooted) SubtreeGuests(local int32, buf []int32) []int32 {
+	stack := []int32{local}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		buf = append(buf, r.nodes[v])
+		stack = append(stack, r.kids[v]...)
+	}
+	return buf
+}
+
+// Guests returns all guest ids of the component in local order.  The slice
+// is owned by the Rooted and must not be modified.
+func (r *Rooted) Guests() []int32 { return r.nodes }
+
+// effSize returns the subtree size of v with the subtree under hole
+// excluded (hole < 0 means no hole).
+func (r *Rooted) effSize(v, hole int32) int32 {
+	s := r.size[v]
+	if hole >= 0 && r.IsAncestor(v, hole) {
+		s -= r.size[hole]
+	}
+	return s
+}
+
+// sortedGuests returns a sorted copy, for deterministic output in tests.
+func sortedGuests(in []int32) []int32 {
+	out := append([]int32(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the component.
+func (r *Rooted) String() string {
+	return fmt.Sprintf("rooted{n=%d root=%d}", r.N(), r.nodes[0])
+}

@@ -1,0 +1,87 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bintree"
+)
+
+func TestNewForAtLeast(t *testing.T) {
+	u := NewForAtLeast(100)
+	if u.N() < 100 {
+		t.Fatalf("G has %d < 100 slots", u.N())
+	}
+	if u.X.Height() != 2 { // capacity(2) = 112 ≥ 100
+		t.Errorf("height = %d", u.X.Height())
+	}
+}
+
+// TestEmbedAnyArbitrarySizes realizes the paper's closing remark: every
+// binary tree with up to N() nodes is a subgraph of the same fixed graph.
+func TestEmbedAnyArbitrarySizes(t *testing.T) {
+	u := NewForHeight(3) // 240 slots
+	rng := rand.New(rand.NewSource(91))
+	for _, f := range bintree.Families {
+		for _, n := range []int{1, 2, 17, 100, 239, 240} {
+			tr, err := bintree.Generate(f, n, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign, err := u.EmbedAny(tr)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", f, n, err)
+			}
+			if err := u.IsSubgraph(tr, assign); err != nil {
+				t.Errorf("%s n=%d: %v", f, n, err)
+			}
+		}
+	}
+}
+
+func TestEmbedAnyErrors(t *testing.T) {
+	u := NewForHeight(2)
+	if _, err := u.EmbedAny(bintree.Path(500)); err == nil {
+		t.Error("oversized guest accepted")
+	}
+	empty, _ := bintree.NewFromParents(nil, nil)
+	if _, err := u.EmbedAny(empty); err == nil {
+		t.Error("empty guest accepted")
+	}
+}
+
+func TestIsSubgraphRejects(t *testing.T) {
+	u := NewForHeight(3)
+	tr := bintree.Path(100)
+	assign, err := u.EmbedAny(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]int(nil), assign...)
+	bad[3] = bad[4]
+	if err := u.IsSubgraph(tr, bad); err == nil {
+		t.Error("duplicate slot accepted")
+	}
+	bad = append([]int(nil), assign...)
+	bad[3] = u.N() + 5
+	if err := u.IsSubgraph(tr, bad); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := u.IsSubgraph(tr, assign[:50]); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+// TestEmbedAnyFullDegreeGuest pads a guest whose every leaf is deep inside
+// (the complete tree): padding must still find a hook.
+func TestEmbedAnyFullDegreeGuest(t *testing.T) {
+	u := NewForHeight(3)
+	tr := bintree.Complete(5) // 63 nodes, all leaves at the bottom
+	assign, err := u.EmbedAny(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IsSubgraph(tr, assign); err != nil {
+		t.Error(err)
+	}
+}

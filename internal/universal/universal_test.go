@@ -1,0 +1,113 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+)
+
+func TestNewForNodes(t *testing.T) {
+	u, err := NewForNodes(1 << 7) // 128 ≠ 2^t − 16
+	if err == nil {
+		t.Errorf("accepted n=128: %v", u)
+	}
+	u, err = NewForNodes(112) // 2^7 − 16, r = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 112 || u.X.Height() != 2 {
+		t.Fatalf("G_112: n=%d r=%d", u.N(), u.X.Height())
+	}
+}
+
+// TestTheorem4DegreeBound verifies deg(G_n) ≤ 415 and that the bound is
+// nearly attained on large enough instances.
+func TestTheorem4DegreeBound(t *testing.T) {
+	for _, r := range []int{2, 4, 6} {
+		u := NewForHeight(r)
+		if d := u.MaxDegree(); d > DegreeBound {
+			t.Errorf("r=%d: degree %d > %d", r, d, DegreeBound)
+		}
+	}
+	// X(6) is deep and wide enough to contain a vertex with the full
+	// 25-vertex N-closure.
+	u := NewForHeight(6)
+	if d := u.MaxDegree(); d != DegreeBound {
+		t.Errorf("r=6: max degree %d, want the tight %d", d, DegreeBound)
+	}
+}
+
+// TestTheorem4Spanning embeds trees from every family as spanning trees.
+func TestTheorem4Spanning(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, r := range []int{2, 3, 4} {
+		u := NewForHeight(r)
+		n := u.N()
+		for _, f := range bintree.Families {
+			tr, err := bintree.Generate(f, n, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign, err := u.Embed(tr)
+			if err != nil {
+				t.Fatalf("%s r=%d: %v", f, r, err)
+			}
+			if err := u.IsSpanning(tr, assign); err != nil {
+				t.Errorf("%s r=%d: %v", f, r, err)
+			}
+		}
+	}
+}
+
+func TestEmbedSizeMismatch(t *testing.T) {
+	u := NewForHeight(2)
+	tr := bintree.Path(50)
+	if _, err := u.Embed(tr); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestIsSpanningRejects(t *testing.T) {
+	u := NewForHeight(4)
+	tr := bintree.Path(u.N())
+	assign, err := u.Embed(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate slot.
+	bad := append([]int(nil), assign...)
+	bad[0] = bad[1]
+	if err := u.IsSpanning(tr, bad); err == nil {
+		t.Error("duplicate slot accepted")
+	}
+	// Non-edge: put the path endpoints 0 and 1 (adjacent in the guest)
+	// onto the opposite corners of the deepest level, which are not
+	// N-related.
+	bad = append([]int(nil), assign...)
+	far := u.VertexID(bitstr.MustParse("0000"), 0)
+	near := u.VertexID(bitstr.MustParse("1111"), 0)
+	bad[0], bad[1] = far, near
+	// Restore the bijection by handing the displaced slots back.
+	for v := range bad {
+		if v != 0 && bad[v] == far {
+			bad[v] = assign[0]
+		}
+		if v != 1 && bad[v] == near {
+			bad[v] = assign[1]
+		}
+	}
+	if err := u.IsSpanning(tr, bad); err == nil {
+		t.Error("stretched assignment accepted (0000 and 1111 are not N-related)")
+	}
+}
+
+func TestVertexID(t *testing.T) {
+	u := NewForHeight(2)
+	a := bitstr.MustParse("01")
+	id := u.VertexID(a, 7)
+	if id != int(a.ID())*16+7 {
+		t.Errorf("VertexID = %d", id)
+	}
+}

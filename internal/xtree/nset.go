@@ -1,0 +1,108 @@
+package xtree
+
+import "xtreesim/internal/bitstr"
+
+// NSet returns the neighborhood N(a) from Figure 2 of the paper: all
+// vertices of the X-tree reachable from a by following a path consisting of
+//
+//   - at most three horizontal edges, or
+//   - at most two downward edges followed by at most two horizontal edges.
+//
+// a itself is included.  For interior vertices away from the level borders
+// |N(a) − {a}| = 20; the paper's Theorem 4 uses |N(a) − {a}| ≤ 20 together
+// with the fact that at most 5 vertices β satisfy a ∈ N(β) but β ∉ N(a) to
+// bound the universal-graph degree by 25·16 + 15 = 415.
+//
+// The embedding's condition (3′) — every tree edge {u,v} with
+// |δ(u)| ≤ |δ(v)| maps so that δ(v) ∈ N(δ(u)) — implies dilation ≤ 3,
+// because every member of N(a) is within X-tree distance 3 of a (hops down
+// are single edges and hops sideways are single edges; the defining paths
+// have length ≤ 3 except the down-down-side-side ones, which shortcut to
+// length ≤ 3 as verified exhaustively in the tests).
+func (x *XTree) NSet(a bitstr.Addr) []bitstr.Addr {
+	if !x.Contains(a) {
+		panic("xtree: NSet of a vertex outside the tree")
+	}
+	out := make([]bitstr.Addr, 0, 21)
+	appendRange := func(level int, lo, hi int64) {
+		if level > x.height {
+			return
+		}
+		max := int64(1)<<uint(level) - 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > max {
+			hi = max
+		}
+		for i := lo; i <= hi; i++ {
+			out = append(out, bitstr.Addr{Level: level, Index: uint64(i)})
+		}
+	}
+	idx := int64(a.Index)
+	// Same level: up to three horizontal steps either way (a included).
+	appendRange(a.Level, idx-3, idx+3)
+	// One level down: children span [2i, 2i+1], then ±2 horizontal.
+	appendRange(a.Level+1, 2*idx-2, 2*idx+1+2)
+	// Two levels down: grandchildren span [4i, 4i+3], then ±2 horizontal.
+	appendRange(a.Level+2, 4*idx-2, 4*idx+3+2)
+	return out
+}
+
+// InN reports whether b ∈ N(a) without materializing the set.
+func (x *XTree) InN(a, b bitstr.Addr) bool {
+	if !x.Contains(a) || !x.Contains(b) {
+		return false
+	}
+	ai, bi := int64(a.Index), int64(b.Index)
+	switch b.Level - a.Level {
+	case 0:
+		return bi >= ai-3 && bi <= ai+3
+	case 1:
+		return bi >= 2*ai-2 && bi <= 2*ai+3
+	case 2:
+		return bi >= 4*ai-2 && bi <= 4*ai+5
+	}
+	return false
+}
+
+// ReverseN returns the vertices β with a ∈ N(β).  Used by the Theorem 4
+// universal-graph construction, whose edge set must be symmetric.
+func (x *XTree) ReverseN(a bitstr.Addr) []bitstr.Addr {
+	out := make([]bitstr.Addr, 0, 13)
+	appendRange := func(level int, lo, hi int64) {
+		if level < 0 || level > x.height {
+			return
+		}
+		max := int64(1)<<uint(level) - 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > max {
+			hi = max
+		}
+		for i := lo; i <= hi; i++ {
+			out = append(out, bitstr.Addr{Level: level, Index: uint64(i)})
+		}
+	}
+	idx := int64(a.Index)
+	// Same level: symmetric.
+	appendRange(a.Level, idx-3, idx+3)
+	// β one level up: need idx ∈ [2β−2, 2β+3]  ⇔  β ∈ [⌈(idx−3)/2⌉, ⌊(idx+2)/2⌋].
+	appendRange(a.Level-1, ceilDiv(idx-3, 2), floorDiv(idx+2, 2))
+	// β two levels up: need idx ∈ [4β−2, 4β+5]  ⇔  β ∈ [⌈(idx−5)/4⌉, ⌊(idx+2)/4⌋].
+	appendRange(a.Level-2, ceilDiv(idx-5, 4), floorDiv(idx+2, 4))
+	return out
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	return -floorDiv(-a, b)
+}

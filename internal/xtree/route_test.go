@@ -1,0 +1,86 @@
+package xtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bitstr"
+)
+
+func TestRouteIsShortest(t *testing.T) {
+	x := New(6)
+	g := x.AsGraph()
+	rng := rand.New(rand.NewSource(101))
+	n := x.NumVertices()
+	for trial := 0; trial < 400; trial++ {
+		a := bitstr.FromID(rng.Int63n(n))
+		b := bitstr.FromID(rng.Int63n(n))
+		path := x.Route(a, b)
+		want := g.Distance(int(a.ID()), int(b.ID()))
+		if len(path)-1 != want {
+			t.Fatalf("Route(%v,%v) length %d, shortest %d", a, b, len(path)-1, want)
+		}
+		if path[0] != a || path[len(path)-1] != b {
+			t.Fatalf("route endpoints wrong: %v", path)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !x.HasEdge(path[i], path[i+1]) {
+				t.Fatalf("route step %v-%v not an edge", path[i], path[i+1])
+			}
+		}
+	}
+}
+
+func TestRouteTrivial(t *testing.T) {
+	x := New(3)
+	a := bitstr.MustParse("010")
+	if p := x.Route(a, a); len(p) != 1 || p[0] != a {
+		t.Errorf("self route = %v", p)
+	}
+	if nh := x.NextHop(a, a); nh != a {
+		t.Errorf("self next hop = %v", nh)
+	}
+}
+
+func TestRouterMemoization(t *testing.T) {
+	x := New(8)
+	r := NewRouter(x)
+	a := bitstr.MustParse("00000000").ID()
+	b := bitstr.MustParse("11111111").ID()
+	first := r.NextHopID(a, b)
+	second := r.NextHopID(a, b)
+	if first != second {
+		t.Fatal("router not deterministic")
+	}
+	// The hop must reduce the distance.
+	da := x.Distance(bitstr.FromID(a), bitstr.FromID(b))
+	dn := x.Distance(bitstr.FromID(first), bitstr.FromID(b))
+	if dn != da-1 {
+		t.Fatalf("next hop distance %d, want %d", dn, da-1)
+	}
+}
+
+func TestRouterConcurrentUse(t *testing.T) {
+	x := New(9)
+	r := NewRouter(x)
+	n := x.NumVertices()
+	rng := rand.New(rand.NewSource(102))
+	pairs := make([][2]int64, 200)
+	for i := range pairs {
+		pairs[i] = [2]int64{rng.Int63n(n), rng.Int63n(n)}
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for _, p := range pairs {
+				if p[0] != p[1] {
+					r.NextHopID(p[0], p[1])
+				}
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

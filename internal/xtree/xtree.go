@@ -1,0 +1,220 @@
+// Package xtree implements the X-tree interconnection network.
+//
+// Following Monien (SPAA '91, §2): the X-tree of height r, X(r), has one
+// vertex for every binary string of length at most r.  A string z of length
+// i < r is adjacent to its extensions z0 and z1, and every string z with
+// binary(z) < 2^|z| − 1 is adjacent to successor(z).  In other words, X(r)
+// is the complete binary tree of height r plus "horizontal" edges joining
+// consecutive vertices on each level (Figure 1 of the paper).
+//
+// The package exposes the adjacency implicitly (so X(40) is as cheap as
+// X(4)), exact distance queries via bidirectional search, the neighborhood
+// sets N(a) of Figure 2 that certify dilation 3, and materialization as a
+// generic graph for small heights.
+package xtree
+
+import (
+	"fmt"
+
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/graph"
+)
+
+// XTree is the X-tree of height Height.  The zero value is X(0), a single
+// vertex.
+type XTree struct {
+	height int
+}
+
+// New returns the X-tree of the given height.
+func New(height int) *XTree {
+	if height < 0 || height > bitstr.MaxLevel {
+		panic(fmt.Sprintf("xtree: height %d out of range", height))
+	}
+	return &XTree{height: height}
+}
+
+// Height returns r for X(r).
+func (x *XTree) Height() int { return x.height }
+
+// NumVertices returns 2^(r+1) − 1.
+func (x *XTree) NumVertices() int64 { return bitstr.NumVertices(x.height) }
+
+// Contains reports whether a names a vertex of this X-tree.
+func (x *XTree) Contains(a bitstr.Addr) bool {
+	return a.Valid() && a.Level <= x.height
+}
+
+// IsLeaf reports whether a lies on the deepest level.
+func (x *XTree) IsLeaf(a bitstr.Addr) bool { return a.Level == x.height }
+
+// Neighbors appends the vertices adjacent to a into buf and returns it.
+// The degree is at most 5: parent, two children, predecessor, successor.
+func (x *XTree) Neighbors(a bitstr.Addr, buf []bitstr.Addr) []bitstr.Addr {
+	if !x.Contains(a) {
+		panic(fmt.Sprintf("xtree: %v not in X(%d)", a, x.height))
+	}
+	if !a.IsRoot() {
+		buf = append(buf, a.Parent())
+		if p, ok := a.Predecessor(); ok {
+			buf = append(buf, p)
+		}
+		if s, ok := a.Successor(); ok {
+			buf = append(buf, s)
+		}
+	}
+	if a.Level < x.height {
+		buf = append(buf, a.Child(0), a.Child(1))
+	}
+	return buf
+}
+
+// HasEdge reports whether {a,b} is an edge of the X-tree.
+func (x *XTree) HasEdge(a, b bitstr.Addr) bool {
+	if !x.Contains(a) || !x.Contains(b) || a == b {
+		return false
+	}
+	switch {
+	case a.Level == b.Level:
+		d := int64(a.Index) - int64(b.Index)
+		return d == 1 || d == -1
+	case a.Level == b.Level+1:
+		return a.Parent() == b
+	case b.Level == a.Level+1:
+		return b.Parent() == a
+	}
+	return false
+}
+
+// Degree returns the degree of a in this X-tree.
+func (x *XTree) Degree(a bitstr.Addr) int {
+	return len(x.Neighbors(a, nil))
+}
+
+// Distance returns the exact shortest-path distance between a and b, using a
+// bidirectional breadth-first search over the implicit adjacency.  X-tree
+// distances are O(log of the index gap), so the searched balls stay small.
+func (x *XTree) Distance(a, b bitstr.Addr) int {
+	if a == b {
+		return 0
+	}
+	distA := map[bitstr.Addr]int{a: 0}
+	distB := map[bitstr.Addr]int{b: 0}
+	frontA := []bitstr.Addr{a}
+	frontB := []bitstr.Addr{b}
+	var buf []bitstr.Addr
+	best := -1
+	for depth := 1; len(frontA) > 0 || len(frontB) > 0; depth++ {
+		// Expand the smaller frontier.
+		front, dist, other := &frontA, distA, distB
+		if len(frontB) > 0 && (len(frontA) == 0 || len(frontB) < len(frontA)) {
+			front, dist, other = &frontB, distB, distA
+		}
+		var next []bitstr.Addr
+		for _, u := range *front {
+			du := dist[u]
+			buf = x.Neighbors(u, buf[:0])
+			for _, v := range buf {
+				if _, seen := dist[v]; seen {
+					continue
+				}
+				if dv, meet := other[v]; meet {
+					if d := du + 1 + dv; best < 0 || d < best {
+						best = d
+					}
+					continue
+				}
+				dist[v] = du + 1
+				next = append(next, v)
+			}
+		}
+		*front = next
+		if best >= 0 {
+			// The first meeting depth can overshoot by one layer;
+			// one extra expansion round settles it.  Since both
+			// dist maps only grow by one level per round, once
+			// best <= (max depth of both searches) no shorter
+			// path can appear.
+			da, db := 0, 0
+			for _, d := range distA {
+				if d > da {
+					da = d
+				}
+			}
+			for _, d := range distB {
+				if d > db {
+					db = d
+				}
+			}
+			if best <= da+db {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// DistanceWithin returns the distance between a and b when it is at most
+// radius, and -1 otherwise.  Only the radius-ball around a is explored,
+// which keeps dilation checks O(5^radius) independent of the tree height.
+func (x *XTree) DistanceWithin(a, b bitstr.Addr, radius int) int {
+	if a == b {
+		return 0
+	}
+	dist := map[bitstr.Addr]int{a: 0}
+	queue := []bitstr.Addr{a}
+	var buf []bitstr.Addr
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		if du >= radius {
+			continue
+		}
+		buf = x.Neighbors(u, buf[:0])
+		for _, v := range buf {
+			if _, seen := dist[v]; !seen {
+				if v == b {
+					return du + 1
+				}
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return -1
+}
+
+// AsGraph materializes the X-tree as a generic graph whose vertex ids are
+// the bitstr heap ids.  Intended for small heights (metrics, figures,
+// simulator); it allocates Θ(2^r) memory.
+func (x *XTree) AsGraph() *graph.Graph {
+	n := x.NumVertices()
+	if n > 1<<26 {
+		panic("xtree: AsGraph on too large a tree")
+	}
+	g := graph.New(int(n))
+	for id := int64(0); id < n; id++ {
+		a := bitstr.FromID(id)
+		if a.Level < x.height {
+			g.AddEdge(int(id), int(a.Child(0).ID()))
+			g.AddEdge(int(id), int(a.Child(1).ID()))
+		}
+		if s, ok := a.Successor(); ok {
+			g.AddEdge(int(id), int(s.ID()))
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Vertices calls f for every vertex in heap order (level by level).  If f
+// returns false the iteration stops.
+func (x *XTree) Vertices(f func(bitstr.Addr) bool) {
+	n := x.NumVertices()
+	for id := int64(0); id < n; id++ {
+		if !f(bitstr.FromID(id)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package xtreesim
+
+import (
+	"fmt"
+
+	"xtreesim/internal/separator"
+)
+
+// TreeSplit is the outcome of one of the paper's separator lemmas applied
+// to a whole guest tree: Part2 lists ≈A nodes; S1 and S2 are the small
+// separator sets (all part-crossing edges join S1 to S2, each S_i is
+// collinear in its part, and both designated nodes lie in S1 ∪ S2).
+type TreeSplit = separator.Split
+
+// SplitLemma1 applies Lemma 1 to a guest tree rooted at its own root with
+// second designated node r2: |S1| ≤ 4, |S2| ≤ 2, balance error at most
+// ⌊(A+1)/3⌋.  Requires 3·n > 4·A.
+func SplitLemma1(t *Tree, r2 int32, A int) (TreeSplit, error) {
+	if t.N() == 0 {
+		return TreeSplit{}, fmt.Errorf("xtreesim: empty tree")
+	}
+	rt := separator.Build(t.Neighbors, t.Root(), nil)
+	return separator.Lemma1(rt, r2, A)
+}
+
+// SplitLemma2 applies Lemma 2: |S1|, |S2| ≤ 4, balance error at most
+// ⌊(A+4)/9⌋, for any 0 ≤ A ≤ n.
+func SplitLemma2(t *Tree, r2 int32, A int) (TreeSplit, error) {
+	if t.N() == 0 {
+		return TreeSplit{}, fmt.Errorf("xtreesim: empty tree")
+	}
+	rt := separator.Build(t.Neighbors, t.Root(), nil)
+	return separator.Lemma2(rt, r2, A)
+}
+
+// ValidateSplit re-checks a split against the lemma postconditions
+// (lemma = 1 or 2).
+func ValidateSplit(t *Tree, r2 int32, A int, s TreeSplit, lemma int) error {
+	rt := separator.Build(t.Neighbors, t.Root(), nil)
+	switch lemma {
+	case 1:
+		return separator.Validate(rt, r2, A, s, 4, 2, separator.Lemma1Bound(A))
+	case 2:
+		return separator.Validate(rt, r2, A, s, 4, 4, separator.Lemma2Bound(A))
+	}
+	return fmt.Errorf("xtreesim: unknown lemma %d", lemma)
+}

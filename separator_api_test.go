@@ -1,0 +1,85 @@
+package xtreesim_test
+
+import (
+	"testing"
+
+	"xtreesim"
+)
+
+func TestPublicSplitLemmas(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyBST, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int{1, 50, 250, 370} {
+		s1, err := xtreesim.SplitLemma1(tree, 123, a)
+		if err != nil {
+			t.Fatalf("lemma1 A=%d: %v", a, err)
+		}
+		if err := xtreesim.ValidateSplit(tree, 123, a, s1, 1); err != nil {
+			t.Errorf("lemma1 A=%d: %v", a, err)
+		}
+	}
+	for _, a := range []int{0, 1, 250, 499, 500} {
+		s2, err := xtreesim.SplitLemma2(tree, 123, a)
+		if err != nil {
+			t.Fatalf("lemma2 A=%d: %v", a, err)
+		}
+		if err := xtreesim.ValidateSplit(tree, 123, a, s2, 2); err != nil {
+			t.Errorf("lemma2 A=%d: %v", a, err)
+		}
+	}
+	// Out-of-precondition targets must error.
+	if _, err := xtreesim.SplitLemma1(tree, 123, 400); err == nil {
+		t.Error("lemma1 accepted A beyond 3n/4")
+	}
+	if _, err := xtreesim.SplitLemma2(tree, 123, 501); err == nil {
+		t.Error("lemma2 accepted A > n")
+	}
+	if err := xtreesim.ValidateSplit(tree, 123, 10, xtreesim.TreeSplit{}, 3); err == nil {
+		t.Error("unknown lemma number accepted")
+	}
+}
+
+func TestPublicSerializationAndChecker(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyBroom, 496, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xtreesim.CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicUniversalAny(t *testing.T) {
+	u := xtreesim.UniversalForAtLeast(300)
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyZigzag, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := u.EmbedAny(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IsSubgraph(tree, assign); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicExchangeWorkload(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyComplete, 127, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.SimulateOnTree(tree, xtreesim.NewExchange(tree, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 4 {
+		t.Errorf("exchange makespan %d, want 4", res.Cycles)
+	}
+}

@@ -1,0 +1,249 @@
+// Package xtreesim reproduces Monien's "Simulating Binary Trees on
+// X-Trees" (SPAA 1991) as a usable library: it embeds arbitrary binary
+// trees into X-tree interconnection networks with dilation 3, load factor
+// 16 and optimal expansion (Theorem 1), derives the injective dilation-11
+// embedding (Theorem 2), the load-16 dilation-4 hypercube embedding
+// (Theorem 3) and the degree-415 universal graph for binary trees
+// (Theorem 4), and ships a synchronous network simulator to measure the
+// slowdown such embeddings induce on real tree-shaped workloads.
+//
+// # Quick start
+//
+//	tree, _ := xtreesim.GenerateTree(xtreesim.FamilyRandom, 1008, 42)
+//	res, _ := xtreesim.Embed(tree)
+//	fmt.Println(res.Dilation(), res.MaxLoad()) // ≤3, ≤16
+//
+// The internal packages hold the machinery: internal/core (algorithm
+// X-TREE with ADJUST/SPLIT), internal/separator (the tree-separation
+// lemmas), internal/xtree, internal/hypercube, internal/universal,
+// internal/baseline and internal/netsim.  This package is the stable
+// façade over them.
+package xtreesim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"xtreesim/internal/baseline"
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/core"
+	"xtreesim/internal/hypercube"
+	"xtreesim/internal/metrics"
+	"xtreesim/internal/netsim"
+	"xtreesim/internal/universal"
+	"xtreesim/internal/xtree"
+)
+
+// Re-exported core types.  The aliases keep one set of concrete types
+// across the library, the examples and the benchmarks.
+type (
+	// Tree is a rooted binary tree guest (max degree 3).
+	Tree = bintree.Tree
+	// Family names a guest-tree generator family.
+	Family = bintree.Family
+	// Addr is a binary-string X-tree vertex address.
+	Addr = bitstr.Addr
+	// XTree is the X-tree host network X(r).
+	XTree = xtree.XTree
+	// Hypercube is the hypercube host Q_d.
+	Hypercube = hypercube.Hypercube
+	// Result is a Theorem 1 embedding result with measured statistics.
+	Result = core.Result
+	// InjectiveResult is a Theorem 2 embedding result.
+	InjectiveResult = core.InjectiveResult
+	// HypercubeResult is a Theorem 3 embedding result.
+	HypercubeResult = core.HypercubeResult
+	// UniversalGraph is the Theorem 4 graph G_n of degree ≤ 415.
+	UniversalGraph = universal.Graph
+	// Embedding carries the quality metrics of any embedding.
+	Embedding = metrics.Embedding
+	// Report summarizes an embedding's metrics.
+	Report = metrics.Report
+	// BaselineResult is a naive comparison embedding.
+	BaselineResult = baseline.Result
+	// SimConfig configures a network-simulator run.
+	SimConfig = netsim.Config
+	// SimResult summarizes a simulator run.
+	SimResult = netsim.Result
+	// Workload is a guest program for the network simulator.
+	Workload = netsim.Workload
+	// Event is a guest-level simulator message.
+	Event = netsim.Event
+)
+
+// Guest-tree families for GenerateTree.
+const (
+	FamilyComplete    = bintree.FamilyComplete
+	FamilyPath        = bintree.FamilyPath
+	FamilyRandom      = bintree.FamilyRandom
+	FamilyBST         = bintree.FamilyBST
+	FamilyCaterpillar = bintree.FamilyCaterpillar
+	FamilyBroom       = bintree.FamilyBroom
+	FamilyZigzag      = bintree.FamilyZigzag
+)
+
+// Families lists every guest family in a stable order.
+var Families = bintree.Families
+
+// LoadTarget is the paper's load factor, 16.
+const LoadTarget = core.LoadTarget
+
+// UniversalDegreeBound is the paper's universal-graph degree bound, 415.
+const UniversalDegreeBound = universal.DegreeBound
+
+// GenerateTree builds an n-node guest tree of the given family from a
+// deterministic seed.
+func GenerateTree(f Family, n int, seed int64) (*Tree, error) {
+	return bintree.Generate(f, n, rand.New(rand.NewSource(seed)))
+}
+
+// NewXTree returns the X-tree of the given height.
+func NewXTree(height int) *XTree { return xtree.New(height) }
+
+// OptimalHeight returns the smallest X-tree height whose load-16 capacity
+// holds n guest nodes.
+func OptimalHeight(n int) int { return core.OptimalHeight(n) }
+
+// Capacity returns 16·(2^(r+1)−1), the load-16 capacity of X(r).
+func Capacity(r int) int64 { return core.Capacity(r) }
+
+// Embed runs algorithm X-TREE: it embeds the guest into its optimal X-tree
+// with dilation ≤ 3 and load ≤ 16 (Theorem 1).
+func Embed(t *Tree) (*Result, error) {
+	return core.EmbedXTree(t, core.DefaultOptions())
+}
+
+// EmbedStrict is Embed with every invariant enforced as a hard error
+// instead of a counted statistic.
+func EmbedStrict(t *Tree) (*Result, error) {
+	return core.EmbedXTree(t, core.Options{Height: -1, Strict: true})
+}
+
+// EmbedInto embeds the guest into X(height) (which may be larger than
+// optimal).
+func EmbedInto(t *Tree, height int) (*Result, error) {
+	return core.EmbedXTree(t, core.Options{Height: height})
+}
+
+// EmbedInjective derives Theorem 2 from a Theorem 1 result: a one-to-one
+// embedding into X(r+4) with dilation ≤ 11.
+func EmbedInjective(res *Result) (*InjectiveResult, error) {
+	return core.EmbedInjective(res)
+}
+
+// EmbedHypercube derives Theorem 3: composing with Lemma 3's map χ gives a
+// load-16 dilation-≤4 embedding into the hypercube.
+func EmbedHypercube(res *Result) *HypercubeResult {
+	return core.EmbedHypercube(res)
+}
+
+// InjectiveHypercubeOf composes Theorem 2's injective X-tree embedding
+// with Lemma 3's χ, giving an injective hypercube embedding with constant
+// dilation.
+func InjectiveHypercubeOf(res *InjectiveResult) *HypercubeResult {
+	return core.InjectiveHypercube(res)
+}
+
+// InjectiveHypercubeDirect is the paper's own corollary after Theorem 3:
+// an injective hypercube embedding with dilation ≤ 8 (4 from the load-16
+// embedding, 4 from tagging the co-located guests in extra dimensions).
+func InjectiveHypercubeDirect(res *Result) *HypercubeResult {
+	return core.InjectiveHypercubeDirect(res)
+}
+
+// NewUniversalGraph builds Theorem 4's graph G_n for n = 2^t − 16.
+func NewUniversalGraph(n int64) (*UniversalGraph, error) {
+	return universal.NewForNodes(n)
+}
+
+// UniversalForHeight builds the universal graph over X(r) regardless of
+// the 2^t − 16 form.
+func UniversalForHeight(r int) *UniversalGraph {
+	return universal.NewForHeight(r)
+}
+
+// UniversalForAtLeast builds the smallest universal graph with at least n
+// slot-vertices.  Every binary tree with up to that many nodes is then a
+// subgraph (via UniversalGraph.EmbedAny) — the arbitrary-n generalization
+// the paper leaves as a remark after Theorem 4.
+func UniversalForAtLeast(n int) *UniversalGraph {
+	return universal.NewForAtLeast(n)
+}
+
+// Baseline embeddings for comparison experiments.
+func BaselineDFSPack(t *Tree) *BaselineResult { return baseline.DFSPack(t) }
+func BaselineBFSPack(t *Tree) *BaselineResult { return baseline.BFSPack(t) }
+func BaselineNaive(t *Tree, h int) *BaselineResult {
+	return baseline.NaiveTree(t, h)
+}
+func BaselineRandom(t *Tree, seed int64) *BaselineResult {
+	return baseline.RandomPack(t, rand.New(rand.NewSource(seed)))
+}
+
+// Simulate runs a guest workload on a host with a placement.
+func Simulate(cfg SimConfig, wl Workload) (SimResult, error) {
+	return netsim.Run(cfg, wl)
+}
+
+// SimulateOnTree runs the workload on the guest's own topology — the
+// ideal binary-tree machine the X-tree is simulating.
+func SimulateOnTree(t *Tree, wl Workload) (SimResult, error) {
+	return netsim.Run(SimConfig{Host: t.AsGraph(), Place: netsim.IdentityPlacement(t.N())}, wl)
+}
+
+// SimulateOnXTree runs the workload on the X-tree machine through the
+// given embedding.
+func SimulateOnXTree(res *Result, wl Workload) (SimResult, error) {
+	place := make([]int32, res.Guest.N())
+	for v, a := range res.Assignment {
+		place[v] = int32(a.ID())
+	}
+	return netsim.Run(SimConfig{Host: res.Host.AsGraph(), Place: place}, wl)
+}
+
+// NewDivideConquer builds the divide-and-conquer workload (waves ≥ 1).
+func NewDivideConquer(t *Tree, waves int) Workload {
+	return netsim.NewDivideConquer(t, waves)
+}
+
+// NewBroadcast builds the root-broadcast workload.
+func NewBroadcast(t *Tree) Workload { return netsim.NewBroadcast(t) }
+
+// NewExchange builds the BSP halo-exchange workload: every node trades one
+// token with each tree neighbor per round.
+func NewExchange(t *Tree, rounds int) Workload { return netsim.NewExchange(t, rounds) }
+
+// NewScan builds the parallel-prefix workload (up-sweep reduction plus
+// down-sweep distribution); it self-verifies its result, so Done() is only
+// true if the simulated machine computed the correct prefix sums.
+func NewScan(t *Tree) Workload { return netsim.NewScan(t) }
+
+// WriteResult serializes an embedding to a line-oriented text format that
+// ReadResult parses back; the node numbering survives the round trip.
+func WriteResult(w io.Writer, res *Result) error { return core.WriteResult(w, res) }
+
+// ReadResult parses the WriteResult format and re-validates it.
+func ReadResult(r io.Reader) (*Result, error) { return core.ReadResult(r) }
+
+// CheckInvariants independently re-verifies a result against the paper's
+// conditions (load ≤ 16, condition (3′) on every edge, exact fill on
+// theorem sizes).
+func CheckInvariants(res *Result) error { return core.CheckInvariants(res) }
+
+// Verify re-measures an embedding and errors if the paper's bounds are
+// exceeded.
+func Verify(res *Result) error {
+	emb := res.Embedding()
+	if err := emb.Validate(); err != nil {
+		return err
+	}
+	if d := emb.Dilation(); d > 3 {
+		return fmt.Errorf("xtreesim: dilation %d > 3", d)
+	}
+	if l := emb.MaxLoad(); l > LoadTarget {
+		return fmt.Errorf("xtreesim: load %d > %d", l, LoadTarget)
+	}
+	return nil
+}
