@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt experiments examples cover
+.PHONY: all build test test-short test-race bench vet fmt check experiments examples cover
 
 all: vet test
 
@@ -12,6 +12,16 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Everything CI gates on: formatting, vet, build, tests.
+check:
+	gofmt -l .
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -28,6 +38,7 @@ experiments:
 
 examples:
 	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/batch
 	$(GO) run ./examples/simulate
 	$(GO) run ./examples/universal
 	$(GO) run ./examples/hypercube

@@ -1,0 +1,68 @@
+package xtreesim
+
+// batch.go surfaces the concurrent batch-embedding engine
+// (internal/engine): a bounded worker pool over algorithm X-TREE fronted
+// by a canonical-tree LRU cache, so isomorphic guests — which dominate
+// real workloads — pay for one embedding and receive remapped
+// assignments on every later hit.
+
+import (
+	"context"
+	"sync"
+
+	"xtreesim/internal/engine"
+)
+
+type (
+	// Engine is a concurrent batch embedder with a canonical-tree
+	// cache.  Create one with NewEngine and release it with Close.
+	Engine = engine.Engine
+	// EngineConfig configures NewEngine; the zero value means one
+	// worker per CPU and a default-sized cache.
+	EngineConfig = engine.Config
+	// EngineStats is a snapshot of the engine counters (cache hits and
+	// misses, in-flight jobs, cumulative embed nanoseconds).
+	EngineStats = engine.Stats
+	// BatchItem is the per-tree outcome of EmbedBatch or Submit.
+	BatchItem = engine.BatchItem
+)
+
+// ErrEngineClosed is returned for work submitted after Engine.Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// NewEngine starts a batch-embedding engine:
+//
+//	eng := xtreesim.NewEngine(xtreesim.EngineConfig{Workers: 8, CacheSize: 4096})
+//	defer eng.Close()
+//	items := eng.EmbedBatch(ctx, trees)
+//
+// Use EngineConfig.Options (via NewEmbedConfig) for non-default embedding
+// options, and DeriveInjective/DeriveHypercube to also compute the
+// Theorem 2/3 results per tree.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily started process-wide engine used by
+// the package-level EmbedBatch: one worker per CPU, default cache.  Its
+// cache and counters persist for the life of the process.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = engine.New(engine.Config{}) })
+	return defaultEngine
+}
+
+// EmbedBatch embeds every tree concurrently on the DefaultEngine and
+// returns one BatchItem per input, in input order.  Cancelling ctx marks
+// every not-yet-started item with ctx.Err(); items already being
+// embedded complete normally.
+func EmbedBatch(ctx context.Context, trees []*Tree) []BatchItem {
+	return DefaultEngine().EmbedBatch(ctx, trees)
+}
+
+// CanonicalHash returns the AHU-style isomorphism code hash the engine's
+// cache keys on: equal for trees that differ only by node numbering and
+// child order.
+func CanonicalHash(t *Tree) uint64 { return t.CanonicalHash() }

@@ -1,0 +1,357 @@
+// Package engine runs Theorem 1/2/3 embeddings through a bounded worker
+// pool fronted by a canonical-tree cache: the batching layer that turns
+// the single-threaded, from-scratch xtreesim.Embed into a service-shaped
+// primitive.
+//
+// Two facts make the design pay off.  First, algorithm X-TREE is pure
+// CPU with no shared state, so independent guests embed in parallel with
+// no coordination beyond a job queue.  Second, real workloads repeat
+// instance families endlessly — the same divide-and-conquer shapes, the
+// same complete trees, mirrored subproblems — and an embedding is
+// isomorphism-invariant: if two guests differ only by node numbering and
+// child order, one embedding serves both after relabeling the
+// assignment.  The engine therefore keys an LRU cache on
+// bintree.CanonicalCode and answers cache hits with a remapped copy of
+// the stored result instead of re-running the construction.
+//
+// Batch calls take a context.Context: cancelling it stops unstarted work
+// immediately (those items report ctx.Err()); embeddings already on a
+// worker run to completion, bounding the cancellation latency by one
+// embedding, not one batch.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/core"
+)
+
+// DefaultCacheSize is the cache capacity when Config.CacheSize is zero.
+const DefaultCacheSize = 1024
+
+// ErrClosed is returned for work submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Config configures a new Engine.  The zero value is usable: one worker
+// per CPU, a DefaultCacheSize-entry cache, and the theorem-default
+// embedding options.
+type Config struct {
+	// Workers is the number of concurrent embedders; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize is the canonical-tree LRU capacity in embeddings; 0
+	// means DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+	// Options overrides the embedding options (host height, strict
+	// mode); nil means core.DefaultOptions().  One option set per
+	// engine keeps the cache sound: a cached result is only reused
+	// under the options it was computed with.
+	Options *core.Options
+	// DeriveInjective additionally derives Theorem 2 (injective,
+	// dilation ≤ 11) for every item.
+	DeriveInjective bool
+	// DeriveHypercube additionally derives Theorem 3 (hypercube,
+	// load 16, dilation ≤ 4) for every item.
+	DeriveHypercube bool
+}
+
+// BatchItem is the outcome of one guest tree.  Exactly one of Result and
+// Err is set.  For EmbedBatch, Index is the position in the input slice;
+// for Submit it is the submission number returned by Submit.
+type BatchItem struct {
+	Index     int
+	Tree      *bintree.Tree
+	Result    *core.Result
+	Injective *core.InjectiveResult
+	Hypercube *core.HypercubeResult
+	CacheHit  bool
+	Err       error
+}
+
+// Stats is a point-in-time snapshot of the engine counters.
+type Stats struct {
+	Workers    int
+	Hits       int64 // cache hits answered by remapping
+	Misses     int64 // cache lookups that ran the full embedder
+	InFlight   int64 // jobs on a worker right now
+	Submitted  int64 // jobs accepted (batch + streaming)
+	Completed  int64 // jobs finished, including errors
+	Errors     int64 // jobs finished with a non-nil Err
+	EmbedNanos int64 // cumulative wall time inside core.EmbedXTree
+	CacheLen   int   // embeddings currently cached
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type job struct {
+	ctx     context.Context
+	tree    *bintree.Tree
+	index   int
+	deliver func(BatchItem)
+}
+
+// Engine is a concurrent batch embedder.  All methods are safe for
+// concurrent use.
+type Engine struct {
+	opts    core.Options
+	derInj  bool
+	derHc   bool
+	workers int
+	cache   *lru // nil when caching is disabled
+
+	mu     sync.RWMutex // guards closed and sends on jobs
+	closed bool
+	jobs   chan job
+
+	results   chan BatchItem
+	wg        sync.WaitGroup
+	nextIndex atomic.Int64
+
+	hits, misses, inFlight       atomic.Int64
+	submitted, completed, errCnt atomic.Int64
+	embedNanos                   atomic.Int64
+}
+
+// New starts an engine with the given configuration.  Callers own the
+// engine and must Close it to release the workers.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	opts := core.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	e := &Engine{
+		opts:    opts,
+		derInj:  cfg.DeriveInjective,
+		derHc:   cfg.DeriveHypercube,
+		workers: workers,
+		jobs:    make(chan job, 4*workers),
+		results: make(chan BatchItem, 4*workers),
+	}
+	if size > 0 {
+		e.cache = newLRU(size)
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.results)
+	}()
+	return e
+}
+
+// Close stops accepting work, lets the already-queued jobs finish, and
+// then closes the Results channel.  Streaming callers must keep draining
+// Results until it closes, or a worker blocked on delivery will hold
+// Close's queued jobs up.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+}
+
+// send enqueues a job unless the engine is closed or ctx is done.
+func (e *Engine) send(ctx context.Context, jb job) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.jobs <- jb:
+		e.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// EmbedBatch embeds every tree and returns one BatchItem per input, in
+// input order.  Cancelling ctx marks every not-yet-started item with
+// ctx.Err(); items already on a worker complete normally.  The call
+// always returns a fully populated slice and never leaks goroutines.
+func (e *Engine) EmbedBatch(ctx context.Context, trees []*bintree.Tree) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	items := make([]BatchItem, len(trees))
+	var wg sync.WaitGroup
+	deliver := func(it BatchItem) {
+		items[it.Index] = it
+		wg.Done()
+	}
+	i := 0
+	var stopErr error
+	for ; i < len(trees); i++ {
+		wg.Add(1)
+		err := e.send(ctx, job{ctx: ctx, tree: trees[i], index: i, deliver: deliver})
+		if err != nil {
+			wg.Done()
+			stopErr = err
+			break
+		}
+	}
+	// Items that were never enqueued are reported directly and do not
+	// touch the engine counters (Completed stays ≤ Submitted).
+	for ; i < len(trees); i++ {
+		items[i] = BatchItem{Index: i, Tree: trees[i], Err: stopErr}
+	}
+	wg.Wait()
+	return items
+}
+
+// Submit queues one tree for streaming embedding and returns its
+// submission number, which the matching BatchItem on Results carries as
+// Index.  It blocks only while the job queue is full.
+func (e *Engine) Submit(ctx context.Context, t *bintree.Tree) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	index := int(e.nextIndex.Add(1) - 1)
+	err := e.send(ctx, job{ctx: ctx, tree: t, index: index, deliver: e.emit})
+	return index, err
+}
+
+// Results returns the streaming result channel.  It is closed after
+// Close once every queued job has drained.
+func (e *Engine) Results() <-chan BatchItem { return e.results }
+
+func (e *Engine) emit(it BatchItem) { e.results <- it }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:    e.workers,
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		InFlight:   e.inFlight.Load(),
+		Submitted:  e.submitted.Load(),
+		Completed:  e.completed.Load(),
+		Errors:     e.errCnt.Load(),
+		EmbedNanos: e.embedNanos.Load(),
+	}
+	if e.cache != nil {
+		s.CacheLen = e.cache.len()
+	}
+	return s
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for jb := range e.jobs {
+		e.inFlight.Add(1)
+		item := e.process(jb)
+		e.inFlight.Add(-1)
+		e.completed.Add(1)
+		if item.Err != nil {
+			e.errCnt.Add(1)
+		}
+		jb.deliver(item)
+	}
+}
+
+// process runs one job: context check, cache lookup, embedding, cache
+// fill, derived theorems.
+func (e *Engine) process(jb job) BatchItem {
+	item := BatchItem{Index: jb.index, Tree: jb.tree}
+	select {
+	case <-jb.ctx.Done():
+		item.Err = jb.ctx.Err()
+		return item
+	default:
+	}
+	if jb.tree == nil {
+		item.Err = fmt.Errorf("engine: nil tree at index %d", jb.index)
+		return item
+	}
+	var code string
+	var order []int32
+	if e.cache != nil {
+		code, order = jb.tree.CanonicalCode()
+		if ent, ok := e.cache.get(code); ok {
+			e.hits.Add(1)
+			item.Result = remap(jb.tree, order, ent)
+			item.CacheHit = true
+			return e.derive(item)
+		}
+		e.misses.Add(1)
+	}
+	start := time.Now()
+	res, err := core.EmbedXTree(jb.tree, e.opts)
+	e.embedNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		item.Err = err
+		return item
+	}
+	item.Result = res
+	if e.cache != nil {
+		e.cache.put(code, &cacheEntry{res: res, order: order})
+	}
+	return e.derive(item)
+}
+
+// derive attaches the Theorem 2/3 results when configured.  Both derive
+// from the (possibly remapped) Theorem 1 result, so they are correct on
+// cache hits too.
+func (e *Engine) derive(item BatchItem) BatchItem {
+	if e.derInj {
+		inj, err := core.EmbedInjective(item.Result)
+		if err != nil {
+			item.Err = err
+			item.Result = nil
+			return item
+		}
+		item.Injective = inj
+	}
+	if e.derHc {
+		item.Hypercube = core.EmbedHypercube(item.Result)
+	}
+	return item
+}
+
+// remap transfers a cached embedding onto an isomorphic guest: position i
+// of the newcomer's canonical order corresponds to position i of the
+// cached guest's, so the newcomer's node order[i] inherits the host
+// vertex of the cached node ent.order[i].  Isomorphism preserves
+// adjacency, hence dilation, load and condition (3′) transfer verbatim.
+// The host and the Stats slices are shared with the cached result and
+// must be treated as read-only.
+func remap(t *bintree.Tree, order []int32, ent *cacheEntry) *core.Result {
+	assign := make([]bitstr.Addr, t.N())
+	for i, v := range order {
+		assign[v] = ent.res.Assignment[ent.order[i]]
+	}
+	return &core.Result{
+		Guest:      t,
+		Host:       ent.res.Host,
+		Assignment: assign,
+		Stats:      ent.res.Stats,
+	}
+}

@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/core"
+)
+
+func mustGen(t testing.TB, f bintree.Family, n int, seed int64) *bintree.Tree {
+	t.Helper()
+	tr, err := bintree.Generate(f, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// relabel returns an isomorphic copy of tr with permuted node numbers and
+// flipped child sides.
+func relabel(t testing.TB, tr *bintree.Tree, seed int64) *bintree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := tr.N()
+	perm := make([]int32, n)
+	for i, v := range rng.Perm(n) {
+		perm[i] = int32(v)
+	}
+	parent := make([]int32, n)
+	side := make([]byte, n)
+	for v := int32(0); v < int32(n); v++ {
+		p := tr.Parent(v)
+		if p == bintree.None {
+			parent[perm[v]] = bintree.None
+			continue
+		}
+		parent[perm[v]] = perm[p]
+		if tr.Right(p) != v { // mirror: left becomes right
+			side[perm[v]] = 1
+		}
+	}
+	out, err := bintree.NewFromParents(parent, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBatchMatchesSerial(t *testing.T) {
+	e := New(Config{Workers: 4, CacheSize: -1})
+	defer e.Close()
+	var trees []*bintree.Tree
+	for seed := int64(0); seed < 6; seed++ {
+		trees = append(trees, mustGen(t, bintree.FamilyRandom, 480, seed))
+	}
+	items := e.EmbedBatch(context.Background(), trees)
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+		if it.Index != i || it.Tree != trees[i] || it.Result.Guest != trees[i] {
+			t.Fatalf("item %d misrouted", i)
+		}
+		want, err := core.EmbedXTree(trees[i], core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Assignment {
+			if want.Assignment[v] != it.Result.Assignment[v] {
+				t.Fatalf("item %d: node %d assigned %v, serial gives %v",
+					i, v, it.Result.Assignment[v], want.Assignment[v])
+			}
+		}
+	}
+	s := e.Stats()
+	if s.Submitted != 6 || s.Completed != 6 || s.Errors != 0 || s.InFlight != 0 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.Hits != 0 || s.Misses != 0 || s.CacheLen != 0 {
+		t.Errorf("disabled cache still counted: %+v", s)
+	}
+	if s.EmbedNanos <= 0 {
+		t.Error("no embed time recorded")
+	}
+}
+
+func TestCacheHitRemapsIsomorphic(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	base := mustGen(t, bintree.FamilyRandom, 1008, 42)
+	first := e.EmbedBatch(context.Background(), []*bintree.Tree{base})
+	if first[0].Err != nil {
+		t.Fatal(first[0].Err)
+	}
+	if first[0].CacheHit {
+		t.Fatal("first embedding reported as a hit")
+	}
+	iso := relabel(t, base, 7)
+	second := e.EmbedBatch(context.Background(), []*bintree.Tree{iso})
+	it := second[0]
+	if it.Err != nil {
+		t.Fatal(it.Err)
+	}
+	if !it.CacheHit {
+		t.Fatal("isomorphic tree missed the cache")
+	}
+	if it.Result.Guest != iso {
+		t.Error("remapped result does not carry the new guest")
+	}
+	if err := core.CheckInvariants(it.Result); err != nil {
+		t.Errorf("remapped assignment breaks invariants: %v", err)
+	}
+	if d := it.Result.Dilation(); d > 3 {
+		t.Errorf("remapped dilation %d > 3", d)
+	}
+	s := e.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.CacheLen != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", s.HitRate())
+	}
+}
+
+func TestCacheSecondPassHitRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embeds 2×16 trees")
+	}
+	e := New(Config{})
+	defer e.Close()
+	const batch = 16
+	trees := make([]*bintree.Tree, batch)
+	for i := range trees {
+		trees[i] = mustGen(t, bintree.FamilyRandom, 1008, int64(i))
+	}
+	for _, it := range e.EmbedBatch(context.Background(), trees) {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+	}
+	iso := make([]*bintree.Tree, batch)
+	for i := range iso {
+		iso[i] = relabel(t, trees[i], int64(100+i))
+	}
+	for _, it := range e.EmbedBatch(context.Background(), iso) {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+		if !it.CacheHit {
+			t.Error("isomorphic pass missed the cache")
+		}
+	}
+	s := e.Stats()
+	if rate := float64(s.Hits) / float64(batch); rate < 0.9 {
+		t.Errorf("second-pass hit rate %.2f < 0.9", rate)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 2})
+	defer e.Close()
+	ctx := context.Background()
+	// Three pairwise non-isomorphic shapes (a zigzag is just a relabeled
+	// path, so it would merge with one — see TestCanonicalAgreesOnIsomorphic).
+	a := bintree.CompleteN(31)
+	b := bintree.Path(31)
+	c := bintree.Caterpillar(31)
+	e.EmbedBatch(ctx, []*bintree.Tree{a, b, c}) // c evicts a
+	if s := e.Stats(); s.CacheLen != 2 {
+		t.Fatalf("cache len %d", s.CacheLen)
+	}
+	items := e.EmbedBatch(ctx, []*bintree.Tree{bintree.CompleteN(31)})
+	if items[0].CacheHit {
+		t.Error("evicted entry still answered")
+	}
+	items = e.EmbedBatch(ctx, []*bintree.Tree{bintree.Caterpillar(31)})
+	if !items[0].CacheHit {
+		t.Error("resident entry missed")
+	}
+}
+
+func TestDerivedTheorems(t *testing.T) {
+	e := New(Config{DeriveInjective: true, DeriveHypercube: true})
+	defer e.Close()
+	tr := mustGen(t, bintree.FamilyCaterpillar, 496, 3)
+	items := e.EmbedBatch(context.Background(), []*bintree.Tree{tr, relabel(t, tr, 9)})
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+		if it.Injective == nil || it.Hypercube == nil {
+			t.Fatalf("item %d: derived results missing", i)
+		}
+		if !it.Injective.Embedding().IsInjective() {
+			t.Errorf("item %d: Theorem 2 result not injective", i)
+		}
+		if d := it.Hypercube.Embedding().Dilation(); d > 4 {
+			t.Errorf("item %d: hypercube dilation %d > 4", i, d)
+		}
+	}
+	if !items[1].CacheHit {
+		t.Error("isomorphic derivation did not reuse the cache")
+	}
+}
+
+func TestCancellationMidBatch(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := New(Config{Workers: 1, CacheSize: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	const batch = 24
+	trees := make([]*bintree.Tree, batch)
+	for i := range trees {
+		trees[i] = mustGen(t, bintree.FamilyRandom, 1008, int64(i))
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	items := e.EmbedBatch(ctx, trees)
+	cancelled := 0
+	for i, it := range items {
+		switch {
+		case it.Err == nil:
+			if it.Result == nil {
+				t.Fatalf("item %d: no result and no error", i)
+			}
+		case it.Err == context.Canceled:
+			cancelled++
+		default:
+			t.Fatalf("item %d: unexpected error %v", i, it.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Error("cancellation reported no ctx.Err() items (batch finished too fast?)")
+	}
+	e.Close()
+	for range e.Results() {
+		// drain so the workers can exit
+	}
+	// The workers and the closer goroutine must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, g)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := e.EmbedBatch(ctx, []*bintree.Tree{bintree.CompleteN(15), bintree.Path(15)})
+	for i, it := range items {
+		if it.Err != context.Canceled {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, it.Err)
+		}
+	}
+}
+
+func TestSubmitResultsStreaming(t *testing.T) {
+	e := New(Config{Workers: 2})
+	ctx := context.Background()
+	want := map[int]*bintree.Tree{}
+	for seed := int64(0); seed < 5; seed++ {
+		tr := mustGen(t, bintree.FamilyBST, 240, seed)
+		idx, err := e.Submit(ctx, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[idx] = tr
+	}
+	got := 0
+	for it := range e.Results() {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+		if want[it.Index] != it.Tree {
+			t.Fatalf("index %d carries the wrong tree", it.Index)
+		}
+		if err := core.CheckInvariants(it.Result); err != nil {
+			t.Error(err)
+		}
+		got++
+		if got == len(want) {
+			e.Close()
+		}
+	}
+	if got != len(want) {
+		t.Fatalf("got %d of %d results", got, len(want))
+	}
+	if _, err := e.Submit(ctx, bintree.Path(3)); err != ErrClosed {
+		t.Errorf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestEmbedBatchAfterClose(t *testing.T) {
+	e := New(Config{})
+	e.Close()
+	items := e.EmbedBatch(context.Background(), []*bintree.Tree{bintree.Path(7)})
+	if items[0].Err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", items[0].Err)
+	}
+}
+
+func TestEmbedErrorReported(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	// X(0) holds at most 16 nodes: forcing height 0 must fail for 100.
+	opts := core.Options{Height: 0}
+	small := New(Config{Options: &opts})
+	defer small.Close()
+	items := small.EmbedBatch(context.Background(), []*bintree.Tree{bintree.Path(100), nil})
+	if items[0].Err == nil {
+		t.Error("overfull host accepted")
+	}
+	if items[1].Err == nil {
+		t.Error("nil tree accepted")
+	}
+	if s := small.Stats(); s.Errors != 2 {
+		t.Errorf("errors = %d, want 2", s.Errors)
+	}
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"xtreesim/internal/core"
+)
+
+// cacheEntry memoizes one embedding: the Theorem 1 result computed for
+// some guest together with that guest's canonical pre-order, which is
+// everything needed to transfer the assignment onto any isomorphic
+// newcomer (see remap in engine.go).
+type cacheEntry struct {
+	res   *core.Result
+	order []int32
+}
+
+// lru is a mutex-guarded least-recently-used map from canonical tree
+// codes to cache entries.  Keys are the full canonical codes rather than
+// their hashes, so a hash collision can never surface a wrong embedding.
+type lru struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	ent *cacheEntry
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for key, refreshing its recency.
+func (c *lru) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).ent, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// beyond capacity.
+func (c *lru) put(key string, ent *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).ent = ent
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruItem{key: key, ent: ent})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruItem).key)
+	}
+}
+
+// len returns the number of cached embeddings.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

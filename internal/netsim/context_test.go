@@ -1,0 +1,35 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+
+	"xtreesim/internal/bintree"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	tr := bintree.CompleteN(127)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{Host: tr.AsGraph(), Place: IdentityPlacement(tr.N())},
+		NewDivideConquer(tr, 4))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	tr := bintree.CompleteN(63)
+	a, err := Run(Config{Host: tr.AsGraph(), Place: IdentityPlacement(tr.N())}, NewBroadcast(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(),
+		Config{Host: tr.AsGraph(), Place: IdentityPlacement(tr.N())}, NewBroadcast(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("Run %+v != RunContext %+v", a, b)
+	}
+}

@@ -16,6 +16,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -99,6 +100,13 @@ type sim struct {
 // quiescence (no messages in flight) or the cycle cap.  A run that goes
 // quiescent before the workload reports Done is a deadlock and errors.
 func Run(cfg Config, wl Workload) (Result, error) {
+	return RunContext(context.Background(), cfg, wl)
+}
+
+// RunContext is Run with cancellation: the context is polled once per
+// simulated cycle, so a cancelled run stops within one cycle and returns
+// ctx.Err() together with the statistics accumulated so far.
+func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 	if cfg.Host == nil || len(cfg.Place) == 0 {
 		return Result{}, fmt.Errorf("netsim: empty host or placement")
 	}
@@ -129,6 +137,13 @@ func Run(cfg Config, wl Workload) (Result, error) {
 	}
 
 	for cycle := 1; cycle <= maxCycles; cycle++ {
+		select {
+		case <-ctx.Done():
+			s.res.Cycles = cycle - 1
+			s.finishStats()
+			return s.res, ctx.Err()
+		default:
+		}
 		s.now = cycle
 		if s.inflight == 0 {
 			s.res.Cycles = cycle - 1

@@ -13,6 +13,10 @@
 //	res, _ := xtreesim.Embed(tree)
 //	fmt.Println(res.Dilation(), res.MaxLoad()) // ≤3, ≤16
 //
+// Embed takes functional options (WithHeight, WithStrict), Baseline
+// selects its method the same way, and batches of trees run concurrently
+// through the caching engine (NewEngine, EmbedBatch in batch.go).
+//
 // The internal packages hold the machinery: internal/core (algorithm
 // X-TREE with ADJUST/SPLIT), internal/separator (the tree-separation
 // lemmas), internal/xtree, internal/hypercube, internal/universal,
@@ -21,6 +25,7 @@
 package xtreesim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -109,22 +114,63 @@ func OptimalHeight(n int) int { return core.OptimalHeight(n) }
 // Capacity returns 16·(2^(r+1)−1), the load-16 capacity of X(r).
 func Capacity(r int) int64 { return core.Capacity(r) }
 
+// EmbedConfig is the resolved embedding configuration (host height,
+// strict mode, ablation switches).  Most callers never touch it directly:
+// they pass EmbedOptions to Embed or NewEmbedConfig instead.
+type EmbedConfig = core.Options
+
+// EmbedOption customizes Embed.  Options compose left to right; the
+// zero-option call embeds into the optimal host with counted (non-fatal)
+// invariant accounting, exactly as the theorem statements do.
+type EmbedOption func(*EmbedConfig)
+
+// WithHeight forces the host X-tree height (which may be larger than
+// optimal).  Embed fails if X(height) cannot hold the guest at load 16.
+func WithHeight(height int) EmbedOption {
+	return func(o *EmbedConfig) { o.Height = height }
+}
+
+// WithStrict makes every violation of condition (3′) a hard error
+// instead of a counted statistic.
+func WithStrict() EmbedOption {
+	return func(o *EmbedConfig) { o.Strict = true }
+}
+
+// NewEmbedConfig resolves functional options into an *EmbedConfig, for
+// APIs that take the resolved form (EngineConfig.Options).
+func NewEmbedConfig(opts ...EmbedOption) *EmbedConfig {
+	o := core.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &o
+}
+
 // Embed runs algorithm X-TREE: it embeds the guest into its optimal X-tree
-// with dilation ≤ 3 and load ≤ 16 (Theorem 1).
-func Embed(t *Tree) (*Result, error) {
-	return core.EmbedXTree(t, core.DefaultOptions())
+// with dilation ≤ 3 and load ≤ 16 (Theorem 1).  Options adjust the host
+// height and the error discipline:
+//
+//	res, err := xtreesim.Embed(tree)                             // Theorem 1
+//	res, err := xtreesim.Embed(tree, xtreesim.WithStrict())      // invariants as errors
+//	res, err := xtreesim.Embed(tree, xtreesim.WithHeight(9))     // oversized host
+func Embed(t *Tree, opts ...EmbedOption) (*Result, error) {
+	return core.EmbedXTree(t, *NewEmbedConfig(opts...))
 }
 
 // EmbedStrict is Embed with every invariant enforced as a hard error
 // instead of a counted statistic.
+//
+// Deprecated: use Embed(t, WithStrict()).
 func EmbedStrict(t *Tree) (*Result, error) {
-	return core.EmbedXTree(t, core.Options{Height: -1, Strict: true})
+	return Embed(t, WithStrict())
 }
 
 // EmbedInto embeds the guest into X(height) (which may be larger than
 // optimal).
+//
+// Deprecated: use Embed(t, WithHeight(height)).
 func EmbedInto(t *Tree, height int) (*Result, error) {
-	return core.EmbedXTree(t, core.Options{Height: height})
+	return Embed(t, WithHeight(height))
 }
 
 // EmbedInjective derives Theorem 2 from a Theorem 1 result: a one-to-one
@@ -172,19 +218,113 @@ func UniversalForAtLeast(n int) *UniversalGraph {
 	return universal.NewForAtLeast(n)
 }
 
-// Baseline embeddings for comparison experiments.
+// BaselineMethod selects one of the naive comparison embeddings the
+// Monien construction is measured against (EXPERIMENTS.md, E9).
+type BaselineMethod int
+
+const (
+	// MethodDFSPack fills the optimal host 16-per-vertex in preorder.
+	MethodDFSPack BaselineMethod = iota
+	// MethodBFSPack fills the optimal host 16-per-vertex in BFS order.
+	MethodBFSPack
+	// MethodNaive follows the guest's own child edges down the X-tree
+	// (dilation ≤ 1, unbounded load).  Honors WithBaselineHeight;
+	// defaults to the optimal height for the guest size.
+	MethodNaive
+	// MethodRandom packs a uniformly random permutation: the
+	// "no locality at all" anchor.  Honors WithBaselineSeed.
+	MethodRandom
+)
+
+// String names the method as the Result.Name of the produced embedding.
+func (m BaselineMethod) String() string {
+	switch m {
+	case MethodDFSPack:
+		return "dfs-pack"
+	case MethodBFSPack:
+		return "bfs-pack"
+	case MethodNaive:
+		return "naive-tree"
+	case MethodRandom:
+		return "random-pack"
+	default:
+		return fmt.Sprintf("baseline(%d)", int(m))
+	}
+}
+
+type baselineConfig struct {
+	height int
+	seed   int64
+}
+
+// BaselineOption customizes Baseline.
+type BaselineOption func(*baselineConfig)
+
+// WithBaselineHeight forces the host height of MethodNaive (the other
+// methods always use the optimal height).
+func WithBaselineHeight(height int) BaselineOption {
+	return func(c *baselineConfig) { c.height = height }
+}
+
+// WithBaselineSeed seeds MethodRandom's permutation (default 1).
+func WithBaselineSeed(seed int64) BaselineOption {
+	return func(c *baselineConfig) { c.seed = seed }
+}
+
+// Baseline computes the selected comparison embedding:
+//
+//	base, err := xtreesim.Baseline(tree, xtreesim.MethodDFSPack)
+//	base, err := xtreesim.Baseline(tree, xtreesim.MethodNaive, xtreesim.WithBaselineHeight(6))
+//	base, err := xtreesim.Baseline(tree, xtreesim.MethodRandom, xtreesim.WithBaselineSeed(9))
+func Baseline(t *Tree, m BaselineMethod, opts ...BaselineOption) (*BaselineResult, error) {
+	cfg := baselineConfig{height: -1, seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	switch m {
+	case MethodDFSPack:
+		return baseline.DFSPack(t), nil
+	case MethodBFSPack:
+		return baseline.BFSPack(t), nil
+	case MethodNaive:
+		h := cfg.height
+		if h < 0 {
+			h = core.OptimalHeight(t.N())
+		}
+		return baseline.NaiveTree(t, h), nil
+	case MethodRandom:
+		return baseline.RandomPack(t, rand.New(rand.NewSource(cfg.seed))), nil
+	default:
+		return nil, fmt.Errorf("xtreesim: unknown baseline method %d", int(m))
+	}
+}
+
+// Deprecated: use Baseline(t, MethodDFSPack).
 func BaselineDFSPack(t *Tree) *BaselineResult { return baseline.DFSPack(t) }
+
+// Deprecated: use Baseline(t, MethodBFSPack).
 func BaselineBFSPack(t *Tree) *BaselineResult { return baseline.BFSPack(t) }
+
+// Deprecated: use Baseline(t, MethodNaive, WithBaselineHeight(h)).
 func BaselineNaive(t *Tree, h int) *BaselineResult {
 	return baseline.NaiveTree(t, h)
 }
+
+// Deprecated: use Baseline(t, MethodRandom, WithBaselineSeed(seed)).
 func BaselineRandom(t *Tree, seed int64) *BaselineResult {
 	return baseline.RandomPack(t, rand.New(rand.NewSource(seed)))
 }
 
 // Simulate runs a guest workload on a host with a placement.
 func Simulate(cfg SimConfig, wl Workload) (SimResult, error) {
-	return netsim.Run(cfg, wl)
+	return SimulateContext(context.Background(), cfg, wl)
+}
+
+// SimulateContext is Simulate with cancellation: long netsim runs poll
+// the context once per simulated cycle and return ctx.Err() when it
+// fires, together with the statistics accumulated so far.
+func SimulateContext(ctx context.Context, cfg SimConfig, wl Workload) (SimResult, error) {
+	return netsim.RunContext(ctx, cfg, wl)
 }
 
 // SimulateOnTree runs the workload on the guest's own topology — the
