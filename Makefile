@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt check experiments examples cover
+.PHONY: all build test test-short test-race bench vet fmt check experiments examples cover fault-sweep fuzz
 
 all: vet test
 
@@ -36,10 +36,19 @@ fmt:
 experiments:
 	$(GO) run ./cmd/xtree-bench -exp all -maxr 9 -seeds 5
 
+# E16 only: slowdown degradation under message drops and link kills.
+fault-sweep:
+	$(GO) run ./cmd/xtree-bench -exp e16
+
+# Short fuzz of the netsim fault layer (determinism + counter invariants).
+fuzz:
+	$(GO) test -run Fuzz -fuzz=FuzzNetsimFaults -fuzztime=10s ./internal/netsim
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/batch
 	$(GO) run ./examples/simulate
+	$(GO) run ./examples/faults
 	$(GO) run ./examples/universal
 	$(GO) run ./examples/hypercube
 	$(GO) run ./examples/separators

@@ -102,3 +102,35 @@ func TestPublicBFSPackAndSimulate(t *testing.T) {
 		t.Error("broadcast delivered nothing")
 	}
 }
+
+func TestPublicSimulateWithFaults(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyComplete, 255, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := xtreesim.SimulateOnXTree(res, xtreesim.NewDivideConquer(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &xtreesim.FaultPlan{Seed: 4, DropProb: 0.1, MaxRetries: 20}
+	faulty, err := xtreesim.SimulateOnXTree(res, xtreesim.NewDivideConquer(tree, 1),
+		xtreesim.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Drops == 0 || faulty.Retransmits == 0 {
+		t.Errorf("fault plan injected nothing: %+v", faulty)
+	}
+	if faulty.Delivered != clean.Delivered {
+		t.Errorf("delivered %d under faults, want %d", faulty.Delivered, clean.Delivered)
+	}
+	// The cap option must flow through too: an impossible cap errors.
+	if _, err := xtreesim.SimulateOnTree(tree, xtreesim.NewDivideConquer(tree, 1),
+		xtreesim.WithSimMaxCycles(1)); err == nil {
+		t.Error("1-cycle cap not enforced through options")
+	}
+}

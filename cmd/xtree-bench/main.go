@@ -24,7 +24,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e15) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e16) or 'all'")
 	flag.Parse()
 	runners := map[string]func(){
 		"e1": e1Theorem1, "e2": e2Injective, "e3": e3Hypercube,
@@ -32,9 +32,10 @@ func main() {
 		"e7": e7Figures, "e8": e8Imbalance, "e9": e9Baselines,
 		"e10": e10Simulation, "e11": e11Ablation, "e12": e12Congestion,
 		"e13": e13Scaling, "e14": e14Butterfly, "e15": e15Fibonacci,
+		"e16": e16FaultSweep,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"} {
 			runners[id]()
 		}
 		return

@@ -70,6 +70,39 @@ func TestExperimentsEmitValidTables(t *testing.T) {
 	}
 }
 
+// TestFaultSweepEmitsTable runs E16 small and checks that the zero-fault
+// row reports a clean network and that every row keeps the table shape.
+func TestFaultSweepEmitsTable(t *testing.T) {
+	*maxR = 4
+	defer func() { *maxR = 9 }()
+	out := captureExperiment(t, e16FaultSweep)
+	if !strings.Contains(out, "### E16") {
+		t.Fatalf("missing header: %q", out)
+	}
+	var zeroRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| 0.0 |") {
+			zeroRow = line
+		}
+	}
+	if zeroRow == "" {
+		t.Fatalf("zero-fault row missing:\n%s", out)
+	}
+	cells := strings.Split(zeroRow, "|")
+	// At drop probability 0 there is no corruption (cell 5), and the
+	// retransmit/reroute layer must recover every kill casualty: no
+	// unreachable messages (cell 8) and both runs complete (cell 9).
+	if strings.TrimSpace(cells[5]) != "0" {
+		t.Errorf("zero-drop row reports corruption: %s", zeroRow)
+	}
+	if strings.TrimSpace(cells[8]) != "0" {
+		t.Errorf("zero-drop row lost messages for good: %s", zeroRow)
+	}
+	if strings.TrimSpace(cells[9]) != "true" {
+		t.Errorf("zero-drop run did not complete: %s", zeroRow)
+	}
+}
+
 func TestRowAndHeaderFormat(t *testing.T) {
 	out := captureExperiment(t, func() {
 		header("sample", "a", "b")

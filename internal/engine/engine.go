@@ -119,6 +119,7 @@ type Engine struct {
 
 	results   chan BatchItem
 	wg        sync.WaitGroup
+	subMu     sync.Mutex // serializes Submit so indexes stay gapless
 	nextIndex atomic.Int64
 
 	hits, misses, inFlight       atomic.Int64
@@ -229,14 +230,21 @@ func (e *Engine) EmbedBatch(ctx context.Context, trees []*bintree.Tree) []BatchI
 
 // Submit queues one tree for streaming embedding and returns its
 // submission number, which the matching BatchItem on Results carries as
-// Index.  It blocks only while the job queue is full.
+// Index.  It blocks only while the job queue is full.  Accepted
+// submissions number 0, 1, 2, … with no gaps: a Submit rejected with
+// ErrClosed or a context error consumes no index.
 func (e *Engine) Submit(ctx context.Context, t *bintree.Tree) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	index := int(e.nextIndex.Add(1) - 1)
-	err := e.send(ctx, job{ctx: ctx, tree: t, index: index, deliver: e.emit})
-	return index, err
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	index := int(e.nextIndex.Load())
+	if err := e.send(ctx, job{ctx: ctx, tree: t, index: index, deliver: e.emit}); err != nil {
+		return 0, err
+	}
+	e.nextIndex.Add(1)
+	return index, nil
 }
 
 // Results returns the streaming result channel.  It is closed after

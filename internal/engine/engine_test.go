@@ -300,6 +300,35 @@ func TestSubmitResultsStreaming(t *testing.T) {
 	}
 }
 
+func TestSubmitAfterCloseConsumesNoIndex(t *testing.T) {
+	// Regression: a Submit rejected with ErrClosed (or a context error)
+	// used to burn an index anyway, leaving a permanent gap in the
+	// streaming Index sequence.
+	e := New(Config{Workers: 1})
+	ctx := context.Background()
+	idx, err := e.Submit(ctx, bintree.Path(5))
+	if err != nil || idx != 0 {
+		t.Fatalf("first Submit: idx=%d err=%v", idx, err)
+	}
+	e.Close()
+	if _, err := e.Submit(ctx, bintree.Path(3)); err != ErrClosed {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	if got := e.nextIndex.Load(); got != 1 {
+		t.Errorf("rejected Submit consumed an index: nextIndex=%d, want 1", got)
+	}
+	seen := 0
+	for it := range e.Results() {
+		if it.Index != 0 {
+			t.Errorf("streamed Index %d, want contiguous sequence 0..0", it.Index)
+		}
+		seen++
+	}
+	if seen != 1 {
+		t.Errorf("drained %d results, want 1", seen)
+	}
+}
+
 func TestEmbedBatchAfterClose(t *testing.T) {
 	e := New(Config{})
 	e.Close()

@@ -47,6 +47,42 @@ func TestLatencyOrderingAndBounds(t *testing.T) {
 	}
 }
 
+func TestLatencyPercentilesOnTinySamples(t *testing.T) {
+	// finishStats indexes len/2 and len*99/100: make the degenerate
+	// 1–3-message samples explicit so a refactor can't walk them off
+	// either end of the slice.
+	cases := []struct {
+		lats          []int
+		p50, p99, max int
+	}{
+		{[]int{5}, 5, 5, 5},
+		{[]int{9, 3}, 9, 9, 9}, // median of 2 is the upper one
+		{[]int{11, 2, 5}, 5, 11, 11},
+	}
+	for _, c := range cases {
+		s := &sim{latencies: append([]int(nil), c.lats...)}
+		s.finishStats()
+		if s.res.LatencyP50 != c.p50 || s.res.LatencyP99 != c.p99 || s.res.LatencyMax != c.max {
+			t.Errorf("latencies %v: got %d/%d/%d, want %d/%d/%d", c.lats,
+				s.res.LatencyP50, s.res.LatencyP99, s.res.LatencyMax, c.p50, c.p99, c.max)
+		}
+	}
+}
+
+func TestLatencySingleDeliveredMessage(t *testing.T) {
+	// One delivered message end to end: all three percentiles collapse
+	// onto its latency.
+	tr := bintree.Path(2)
+	res := runOnTree(t, tr, NewBroadcast(tr))
+	if res.Delivered != 1 {
+		t.Fatalf("delivered %d, want 1", res.Delivered)
+	}
+	if res.LatencyP50 != 1 || res.LatencyP99 != 1 || res.LatencyMax != 1 {
+		t.Errorf("single-message latencies %d/%d/%d, want 1/1/1",
+			res.LatencyP50, res.LatencyP99, res.LatencyMax)
+	}
+}
+
 func TestLatencyEmptyRun(t *testing.T) {
 	tr := bintree.Path(1)
 	res := runOnTree(t, tr, NewDivideConquer(tr, 1))

@@ -54,6 +54,11 @@ type Config struct {
 	// topology-aware router (e.g. xtree.Router) this lifts the
 	// MaxHostVertices cap, which only bounds the V² table memory.
 	NextHop func(cur, dst int32) int32
+	// Faults, when non-nil and active, injects deterministic failures
+	// (link/vertex kills, drops, corruption) and enables the
+	// ack/retransmission delivery layer.  A nil or inert plan leaves
+	// the simulator behavior byte-identical to a run without one.
+	Faults *FaultPlan
 }
 
 // Result summarizes a run.
@@ -69,12 +74,24 @@ type Result struct {
 	LatencyP50 int
 	LatencyP99 int
 	LatencyMax int
+	// Fault-injection counters, all zero unless Config.Faults is active.
+	Drops       int // messages lost in flight (random drops + kill casualties)
+	Corruptions int // payloads corrupted in flight (detected and discarded at delivery)
+	Retransmits int // retransmissions actually re-sent by the delivery layer
+	Reroutes    int // next-hop diversions around dead links or vertices
+	Unreachable int // messages abandoned: retries exhausted, or no alive route
 }
 
 type message struct {
 	ev      Event
+	srcHost int32 // retransmissions restart here
 	dstHost int32
 	sentAt  int
+
+	// Fault-layer state; all zero on a fault-free run.
+	attempts int  // retransmissions so far
+	corrupt  bool // payload mangled in flight, fails the delivery checksum
+	rerouted bool // left its preferred route; stays on alive-graph routing
 }
 
 type sim struct {
@@ -94,6 +111,9 @@ type sim struct {
 	now       int   // current cycle
 	latencies []int // per delivered message, in cycles
 	res       Result
+
+	faults *faultState // nil on a fault-free run
+	retx   []retx      // messages parked for retransmission
 }
 
 // Run simulates the workload on the host with the given placement until
@@ -123,11 +143,21 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 		maxCycles = 1 << 20
 	}
 	s := &sim{host: cfg.Host, place: cfg.Place, wl: wl, hopFn: cfg.NextHop}
+	if cfg.Faults != nil {
+		fs, err := newFaultState(cfg.Faults, cfg.Host)
+		if err != nil {
+			return Result{}, err
+		}
+		s.faults = fs // nil when the plan is inert
+	}
 	if s.hopFn == nil {
 		s.buildRouting()
 	}
 	s.buildEdges()
 	s.local = make([][]message, cfg.Host.N())
+	if s.faults != nil {
+		s.applyKills() // kills scheduled at cycle ≤ 0 are dead from the start
+	}
 
 	var emitted []Event
 	emit := func(ev Event) { emitted = append(emitted, ev) }
@@ -145,10 +175,19 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 		default:
 		}
 		s.now = cycle
+		if s.faults != nil {
+			s.applyKills()
+			if err := s.releaseRetx(); err != nil {
+				return s.res, err
+			}
+		}
 		if s.inflight == 0 {
 			s.res.Cycles = cycle - 1
 			s.finishStats()
 			if !s.wl.Done() {
+				if s.res.Unreachable > 0 {
+					return s.res, fmt.Errorf("netsim: quiescent after %d cycles but workload not done (%d messages unreachable under faults)", cycle-1, s.res.Unreachable)
+				}
 				return s.res, fmt.Errorf("netsim: quiescent after %d cycles but workload not done", cycle-1)
 			}
 			return s.res, nil
@@ -165,7 +204,23 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			here := s.edges[i][1]
 			s.res.HopsTotal++
 			s.traffic[i]++
+			if f := s.faults; f != nil {
+				if f.plan.DropProb > 0 && f.rng.Float64() < f.plan.DropProb {
+					s.lose(m, true)
+					continue
+				}
+				if f.plan.CorruptProb > 0 && !m.corrupt && f.rng.Float64() < f.plan.CorruptProb {
+					m.corrupt = true
+					s.res.Corruptions++
+				}
+			}
 			if m.dstHost == here {
+				if m.corrupt {
+					// Checksum failure at delivery: the receiver
+					// discards and nacks; the source retransmits.
+					s.lose(m, false)
+					continue
+				}
 				arrived = append(arrived, m)
 			} else {
 				if err := s.enqueue(here, m); err != nil {
@@ -180,19 +235,34 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			}
 		}
 		// Phase 2: deliver in a deterministic order and route the
-		// responses.
-		sort.Slice(arrived, func(a, b int) bool {
-			x, y := arrived[a].ev, arrived[b].ev
-			if x.To != y.To {
-				return x.To < y.To
+		// responses.  The key must totally order distinct messages:
+		// (To, From, Kind) alone lets two messages differing only in
+		// Payload land in unspecified order under sort.Slice, so the
+		// tie-break continues through Payload and sentAt, and the sort
+		// is stable so true duplicates keep their arrival order (which
+		// is itself deterministic).
+		sort.SliceStable(arrived, func(a, b int) bool {
+			x, y := arrived[a], arrived[b]
+			if x.ev.To != y.ev.To {
+				return x.ev.To < y.ev.To
 			}
-			if x.From != y.From {
-				return x.From < y.From
+			if x.ev.From != y.ev.From {
+				return x.ev.From < y.ev.From
 			}
-			return x.Kind < y.Kind
+			if x.ev.Kind != y.ev.Kind {
+				return x.ev.Kind < y.ev.Kind
+			}
+			if x.ev.Payload != y.ev.Payload {
+				return x.ev.Payload < y.ev.Payload
+			}
+			return x.sentAt < y.sentAt
 		})
 		emitted = emitted[:0]
 		for _, m := range arrived {
+			if s.faults != nil && s.faults.deadV[m.dstHost] {
+				s.abandon(m) // destination died while the message was in flight
+				continue
+			}
 			s.inflight--
 			s.res.Delivered++
 			s.latencies = append(s.latencies, cycle-m.sentAt)
@@ -207,6 +277,8 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			}
 		}
 	}
+	// The cap burned every cycle: report them, don't leave Cycles at 0.
+	s.res.Cycles = maxCycles
 	s.finishStats()
 	return s.res, fmt.Errorf("netsim: no quiescence within %d cycles", maxCycles)
 }
@@ -218,8 +290,14 @@ func (s *sim) route(evs []Event) error {
 			return fmt.Errorf("netsim: event %v references unknown process", ev)
 		}
 		src, dst := s.place[ev.From], s.place[ev.To]
+		if s.faults != nil && (s.faults.deadV[src] || s.faults.deadV[dst]) {
+			// A dead guest neither sends nor receives; kills are
+			// permanent, so retrying cannot help.
+			s.res.Unreachable++
+			continue
+		}
 		s.inflight++
-		m := message{ev: ev, dstHost: dst, sentAt: s.now}
+		m := message{ev: ev, srcHost: src, dstHost: dst, sentAt: s.now}
 		if src == dst {
 			s.local[src] = append(s.local[src], m)
 			continue
@@ -232,23 +310,46 @@ func (s *sim) route(evs []Event) error {
 }
 
 // enqueue places m on the outgoing link of `at` toward its destination.
+// Under an active fault plan a preferred next hop that crosses a dead link
+// (or enters a dead vertex) falls back to BFS routing on the alive graph;
+// a message with no alive route left is abandoned, not an error.
 func (s *sim) enqueue(at int32, m message) error {
 	var nh int32
-	if s.hopFn != nil {
+	switch {
+	case m.rerouted:
+		// Once diverted, stay on alive-graph routing: mixing it with
+		// the original tables could bounce a message between a detour
+		// and a route through the dead link forever.
+		nh = s.faults.next(s, at, m.dstHost)
+	case s.hopFn != nil:
 		nh = s.hopFn(at, m.dstHost)
-	} else {
+	default:
 		nh = s.nextHop[m.dstHost][at]
 	}
+	if s.faults != nil && !m.rerouted && nh >= 0 && s.faults.blocked(at, nh) {
+		nh = s.faults.next(s, at, m.dstHost)
+		if nh >= 0 {
+			s.res.Reroutes++
+			m.rerouted = true
+		}
+	}
 	if nh < 0 {
+		if s.faults != nil {
+			s.abandon(m)
+			return nil
+		}
 		return fmt.Errorf("netsim: no route from %d to %d", at, m.dstHost)
 	}
-	idx, ok := s.edgeIndex[int64(at)<<32|int64(nh)]
+	idx, ok := s.edgeIndex[ekey(at, nh)]
 	if !ok {
 		return fmt.Errorf("netsim: missing edge %d->%d", at, nh)
 	}
 	s.queues[idx] = append(s.queues[idx], m)
 	return nil
 }
+
+// ekey packs a directed edge into the edgeIndex key.
+func ekey(u, v int32) int64 { return int64(u)<<32 | int64(v) }
 
 // buildRouting fills the per-destination next-hop tables by one BFS per
 // destination.
@@ -283,7 +384,7 @@ func (s *sim) buildEdges() {
 		ns := append([]int32(nil), s.host.Neighbors(u)...)
 		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		for _, v := range ns {
-			s.edgeIndex[int64(u)<<32|int64(v)] = len(s.edges)
+			s.edgeIndex[ekey(int32(u), v)] = len(s.edges)
 			s.edges = append(s.edges, [2]int32{int32(u), int32(v)})
 		}
 	}

@@ -152,8 +152,53 @@ func (pingPong) Done() bool { return false }
 
 func TestCycleCapEnforced(t *testing.T) {
 	tr := bintree.Path(2)
-	_, err := Run(Config{Host: tr.AsGraph(), Place: IdentityPlacement(2), MaxCycles: 50}, pingPong{})
+	res, err := Run(Config{Host: tr.AsGraph(), Place: IdentityPlacement(2), MaxCycles: 50}, pingPong{})
 	if err == nil {
 		t.Fatal("endless workload terminated without error")
+	}
+	// Regression: the cap path used to leave Result.Cycles at 0, as if
+	// the 50 burned cycles never happened.
+	if res.Cycles != 50 {
+		t.Errorf("capped run reports Cycles=%d, want 50", res.Cycles)
+	}
+	if res.Delivered == 0 || res.LatencyMax == 0 {
+		t.Errorf("capped run lost its accumulated statistics: %+v", res)
+	}
+}
+
+// dupKeyWorkload floods co-located guest 1 with messages that share the
+// full (To, From, Kind) sort key and differ only in Payload, recording the
+// delivery order.
+type dupKeyWorkload struct {
+	n   int
+	got []int64
+}
+
+func (w *dupKeyWorkload) Init(emit func(Event)) {
+	// Emit in descending payload order so that "arrival order" and
+	// "payload order" disagree loudly.
+	for i := w.n - 1; i >= 0; i-- {
+		emit(Event{From: 0, To: 1, Kind: KindTask, Payload: int64(i)})
+	}
+}
+func (w *dupKeyWorkload) OnMessage(ev Event, emit func(Event)) { w.got = append(w.got, ev.Payload) }
+func (w *dupKeyWorkload) Done() bool                           { return len(w.got) == w.n }
+
+func TestDuplicateKeyDeliveryOrderIsDeterministic(t *testing.T) {
+	// Both guests share host vertex 0, so all messages travel through
+	// the memory queue and arrive in the same cycle.  The delivery sort
+	// key used to stop at (To, From, Kind), leaving the order of these
+	// payload-only-distinct messages to sort.Slice's whims; the full
+	// tie-break must deliver them in ascending payload order.
+	const n = 32
+	host := graph.New(1)
+	wl := &dupKeyWorkload{n: n}
+	if _, err := Run(Config{Host: host, Place: []int32{0, 0}}, wl); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range wl.got {
+		if p != int64(i) {
+			t.Fatalf("delivery order not sorted by payload at %d: %v", i, wl.got)
+		}
 	}
 }

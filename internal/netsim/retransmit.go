@@ -1,0 +1,61 @@
+package netsim
+
+// retx is a lost message parked until its retransmission cycle.
+type retx struct {
+	m       message
+	readyAt int
+}
+
+// lose handles a message lost in flight under an active fault plan: the
+// source is nacked and retransmits after an exponential backoff, unless
+// the retry budget is spent.  countDrop distinguishes true in-flight
+// losses (random drops, kill casualties) from corruption discards, which
+// were already counted when the payload was mangled.
+func (s *sim) lose(m message, countDrop bool) {
+	if countDrop {
+		s.res.Drops++
+	}
+	m.corrupt = false
+	m.attempts++
+	if m.attempts > s.faults.plan.MaxRetries {
+		s.abandon(m)
+		return
+	}
+	shift := m.attempts - 1
+	if shift > 20 {
+		shift = 20 // backoff saturates; the retry bound does the limiting
+	}
+	s.retx = append(s.retx, retx{m: m, readyAt: s.now + s.faults.plan.BackoffBase<<shift})
+}
+
+// abandon gives up on a message for good.  It stays counted in inflight
+// until here, so quiescence still waits for every parked retransmission.
+func (s *sim) abandon(message) {
+	s.res.Unreachable++
+	s.inflight--
+}
+
+// releaseRetx re-sends every parked message whose backoff has elapsed.
+// Entries are processed in park order, which is deterministic.
+func (s *sim) releaseRetx() error {
+	if len(s.retx) == 0 {
+		return nil
+	}
+	var keep []retx
+	for _, r := range s.retx {
+		if r.readyAt > s.now {
+			keep = append(keep, r)
+			continue
+		}
+		if s.faults.deadV[r.m.srcHost] {
+			s.abandon(r.m) // the retransmitting source died meanwhile
+			continue
+		}
+		s.res.Retransmits++
+		if err := s.enqueue(r.m.srcHost, r.m); err != nil {
+			return err
+		}
+	}
+	s.retx = keep
+	return nil
+}

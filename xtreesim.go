@@ -5,7 +5,8 @@
 // embedding (Theorem 2), the load-16 dilation-4 hypercube embedding
 // (Theorem 3) and the degree-415 universal graph for binary trees
 // (Theorem 4), and ships a synchronous network simulator to measure the
-// slowdown such embeddings induce on real tree-shaped workloads.
+// slowdown such embeddings induce on real tree-shaped workloads — on a
+// perfect network or under deterministic fault injection (WithFaults).
 //
 // # Quick start
 //
@@ -76,6 +77,13 @@ type (
 	Workload = netsim.Workload
 	// Event is a guest-level simulator message.
 	Event = netsim.Event
+	// FaultPlan is a deterministic, seeded fault-injection schedule for
+	// simulator runs (link/vertex kills, drops, corruption, retries).
+	FaultPlan = netsim.FaultPlan
+	// LinkKill schedules a permanent link failure in a FaultPlan.
+	LinkKill = netsim.LinkKill
+	// VertexKill schedules a permanent vertex failure in a FaultPlan.
+	VertexKill = netsim.VertexKill
 )
 
 // Guest-tree families for GenerateTree.
@@ -315,32 +323,57 @@ func BaselineRandom(t *Tree, seed int64) *BaselineResult {
 	return baseline.RandomPack(t, rand.New(rand.NewSource(seed)))
 }
 
+// SimOption customizes a simulator run on top of the base SimConfig.
+type SimOption func(*SimConfig)
+
+// WithFaults injects a deterministic fault plan into the run: scheduled
+// link/vertex kills, probabilistic drops and corruption, and the
+// ack/retransmission delivery layer with BFS rerouting.  A nil or inert
+// plan leaves the run byte-identical to a fault-free one.
+func WithFaults(p *FaultPlan) SimOption {
+	return func(c *SimConfig) { c.Faults = p }
+}
+
+// WithSimMaxCycles overrides the simulator's safety cap on cycles.
+func WithSimMaxCycles(n int) SimOption {
+	return func(c *SimConfig) { c.MaxCycles = n }
+}
+
+func applySimOptions(cfg SimConfig, opts []SimOption) SimConfig {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
 // Simulate runs a guest workload on a host with a placement.
-func Simulate(cfg SimConfig, wl Workload) (SimResult, error) {
-	return SimulateContext(context.Background(), cfg, wl)
+func Simulate(cfg SimConfig, wl Workload, opts ...SimOption) (SimResult, error) {
+	return SimulateContext(context.Background(), cfg, wl, opts...)
 }
 
 // SimulateContext is Simulate with cancellation: long netsim runs poll
 // the context once per simulated cycle and return ctx.Err() when it
 // fires, together with the statistics accumulated so far.
-func SimulateContext(ctx context.Context, cfg SimConfig, wl Workload) (SimResult, error) {
-	return netsim.RunContext(ctx, cfg, wl)
+func SimulateContext(ctx context.Context, cfg SimConfig, wl Workload, opts ...SimOption) (SimResult, error) {
+	return netsim.RunContext(ctx, applySimOptions(cfg, opts), wl)
 }
 
 // SimulateOnTree runs the workload on the guest's own topology — the
 // ideal binary-tree machine the X-tree is simulating.
-func SimulateOnTree(t *Tree, wl Workload) (SimResult, error) {
-	return netsim.Run(SimConfig{Host: t.AsGraph(), Place: netsim.IdentityPlacement(t.N())}, wl)
+func SimulateOnTree(t *Tree, wl Workload, opts ...SimOption) (SimResult, error) {
+	cfg := SimConfig{Host: t.AsGraph(), Place: netsim.IdentityPlacement(t.N())}
+	return netsim.Run(applySimOptions(cfg, opts), wl)
 }
 
 // SimulateOnXTree runs the workload on the X-tree machine through the
 // given embedding.
-func SimulateOnXTree(res *Result, wl Workload) (SimResult, error) {
+func SimulateOnXTree(res *Result, wl Workload, opts ...SimOption) (SimResult, error) {
 	place := make([]int32, res.Guest.N())
 	for v, a := range res.Assignment {
 		place[v] = int32(a.ID())
 	}
-	return netsim.Run(SimConfig{Host: res.Host.AsGraph(), Place: place}, wl)
+	cfg := SimConfig{Host: res.Host.AsGraph(), Place: place}
+	return netsim.Run(applySimOptions(cfg, opts), wl)
 }
 
 // NewDivideConquer builds the divide-and-conquer workload (waves ≥ 1).
