@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt check experiments examples cover fault-sweep fuzz
+.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke
 
 all: vet test
 
@@ -29,6 +29,18 @@ bench:
 vet:
 	gofmt -l . && $(GO) vet ./...
 
+# Static analysis beyond vet.  staticcheck is used when installed
+# (go install honnef.co/go/tools/cmd/staticcheck@latest); the target
+# still runs vet-level checks without it instead of failing.
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran gofmt+vet only"; \
+	fi
+
 fmt:
 	gofmt -w .
 
@@ -44,11 +56,19 @@ fault-sweep:
 fuzz:
 	$(GO) test -run Fuzz -fuzz=FuzzNetsimFaults -fuzztime=10s ./internal/netsim
 
+# E1 + the simulator experiments with the LinkAudit invariant checker
+# attached to every run: any model violation aborts with a violation list.
+audit-smoke:
+	$(GO) run ./cmd/xtree-bench -exp e1 -maxr 4 -seeds 2 -audit
+	$(GO) run ./cmd/xtree-bench -exp e10 -maxr 4 -audit
+	$(GO) run ./cmd/xtree-bench -exp e17 -maxr 4 -audit
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/batch
 	$(GO) run ./examples/simulate
 	$(GO) run ./examples/faults
+	$(GO) run ./examples/observe
 	$(GO) run ./examples/universal
 	$(GO) run ./examples/hypercube
 	$(GO) run ./examples/separators

@@ -1,6 +1,9 @@
 package xtreesim_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -132,5 +135,65 @@ func TestPublicSimulateWithFaults(t *testing.T) {
 	if _, err := xtreesim.SimulateOnTree(tree, xtreesim.NewDivideConquer(tree, 1),
 		xtreesim.WithSimMaxCycles(1)); err == nil {
 		t.Error("1-cycle cap not enforced through options")
+	}
+}
+
+func TestPublicSimulateWithObservers(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyComplete, 255, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := xtreesim.Embed(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := xtreesim.NewLinkAudit()
+	rec := xtreesim.NewTraceRecorder()
+	ts := xtreesim.NewTimeSeries()
+	res, err := xtreesim.SimulateOnXTree(emb, xtreesim.NewDivideConquer(tree, 1),
+		xtreesim.WithObserver(audit, ts), xtreesim.WithTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Err(); err != nil {
+		t.Errorf("audit flagged a clean run: %v", err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Error("trace recorder saw no events")
+	}
+	if len(ts.Samples) != res.Cycles {
+		t.Errorf("time series has %d samples, makespan %d", len(ts.Samples), res.Cycles)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("chrome trace is not valid JSON")
+	}
+}
+
+func TestPublicEngineUtilizationStats(t *testing.T) {
+	eng := xtreesim.NewEngine(xtreesim.EngineConfig{Workers: 2})
+	defer eng.Close()
+	trees := make([]*xtreesim.Tree, 6)
+	for i := range trees {
+		tr, err := xtreesim.GenerateTree(xtreesim.FamilyRandom, 63, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tr
+	}
+	for _, it := range eng.EmbedBatch(context.Background(), trees) {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+	}
+	s := eng.Stats()
+	if s.BusyNanos <= 0 || s.UptimeNanos <= 0 {
+		t.Errorf("busy/uptime counters did not move: %+v", s)
+	}
+	if u := s.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v outside (0,1]", u)
 	}
 }

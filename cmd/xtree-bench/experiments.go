@@ -48,6 +48,7 @@ func e1Theorem1() {
 	eng := engine.New(engine.Config{})
 	defer eng.Close()
 	items := eng.EmbedBatch(context.Background(), trees)
+	reportEngineStats(eng)
 	for i, c := range cfgs {
 		n := int(xtreesim.Capacity(c.r))
 		maxDil, maxLoad, viol, fb := 0, 0, 0, 0
@@ -360,7 +361,7 @@ func e10Simulation() {
 			n := int(xtreesim.Capacity(r))
 			tr, err := bintree.Generate(f, n, rng(int64(r)))
 			check(err)
-			ideal, err := netsim.Run(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
+			ideal, err := simRun(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
 				netsim.NewDivideConquer(tr, 1))
 			check(err)
 			res, err := core.EmbedXTree(tr, core.DefaultOptions())
@@ -369,7 +370,7 @@ func e10Simulation() {
 			for v, a := range res.Assignment {
 				place[v] = int32(a.ID())
 			}
-			monien, err := netsim.Run(netsim.Config{Host: res.Host.AsGraph(), Place: place},
+			monien, err := simRun(netsim.Config{Host: res.Host.AsGraph(), Place: place},
 				netsim.NewDivideConquer(tr, 1))
 			check(err)
 			base := baseline.DFSPack(tr)
@@ -377,15 +378,15 @@ func e10Simulation() {
 			for v, a := range base.Assignment {
 				dfsPlace[v] = int32(a.ID())
 			}
-			dfs, err := netsim.Run(netsim.Config{Host: base.Host.AsGraph(), Place: dfsPlace},
+			dfs, err := simRun(netsim.Config{Host: base.Host.AsGraph(), Place: dfsPlace},
 				netsim.NewDivideConquer(tr, 1))
 			check(err)
 			// Parallel prefix with result verification.
-			scanIdeal, err := netsim.Run(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
+			scanIdeal, err := simRun(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
 				netsim.NewScan(tr))
 			check(err)
 			scanWl := netsim.NewScan(tr)
-			scanHost, err := netsim.Run(netsim.Config{Host: res.Host.AsGraph(), Place: place}, scanWl)
+			scanHost, err := simRun(netsim.Config{Host: res.Host.AsGraph(), Place: place}, scanWl)
 			check(err)
 			row(f, r, n, ideal.Cycles, monien.Cycles, dfs.Cycles,
 				fmt.Sprintf("%.2f", float64(monien.Cycles)/float64(ideal.Cycles)),

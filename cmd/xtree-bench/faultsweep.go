@@ -26,7 +26,7 @@ func e16FaultSweep() {
 	n := int(xtreesim.Capacity(r))
 	tr, err := bintree.Generate(bintree.FamilyRandom, n, rng(16))
 	check(err)
-	ideal, err := netsim.Run(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
+	ideal, err := simRun(netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(n)},
 		netsim.NewDivideConquer(tr, 1))
 	check(err)
 
@@ -62,9 +62,9 @@ func e16FaultSweep() {
 			MaxRetries:  16,
 		}
 		wlM := netsim.NewDivideConquer(tr, 1)
-		monien, errM := netsim.Run(netsim.Config{Host: host, Place: monienPlace, Faults: plan}, wlM)
+		monien, errM := simRun(netsim.Config{Host: host, Place: monienPlace, Faults: plan}, wlM)
 		wlD := netsim.NewDivideConquer(tr, 1)
-		dfs, errD := netsim.Run(netsim.Config{Host: host, Place: dfsPlace, Faults: plan}, wlD)
+		dfs, errD := simRun(netsim.Config{Host: host, Place: dfsPlace, Faults: plan}, wlD)
 		row(fmt.Sprintf("%.1f", rate*100),
 			fmt.Sprintf("%.2f", float64(monien.Cycles)/float64(ideal.Cycles)),
 			fmt.Sprintf("%.2f", float64(dfs.Cycles)/float64(ideal.Cycles)),

@@ -19,12 +19,14 @@ import (
 )
 
 var (
-	maxR  = flag.Int("maxr", 9, "largest X-tree height in the sweeps")
-	seeds = flag.Int("seeds", 5, "random seeds per configuration")
+	maxR      = flag.Int("maxr", 9, "largest X-tree height in the sweeps")
+	seeds     = flag.Int("seeds", 5, "random seeds per configuration")
+	auditRuns = flag.Bool("audit", false, "attach the LinkAudit invariant checker to every simulator run (a violation aborts)")
+	tracePath = flag.String("trace", "", "write a Chrome trace of the first simulator run to this file")
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e16) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e17) or 'all'")
 	flag.Parse()
 	runners := map[string]func(){
 		"e1": e1Theorem1, "e2": e2Injective, "e3": e3Hypercube,
@@ -32,10 +34,10 @@ func main() {
 		"e7": e7Figures, "e8": e8Imbalance, "e9": e9Baselines,
 		"e10": e10Simulation, "e11": e11Ablation, "e12": e12Congestion,
 		"e13": e13Scaling, "e14": e14Butterfly, "e15": e15Fibonacci,
-		"e16": e16FaultSweep,
+		"e16": e16FaultSweep, "e17": e17Observability,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"} {
 			runners[id]()
 		}
 		return

@@ -87,6 +87,10 @@ type Stats struct {
 	Errors     int64 // jobs finished with a non-nil Err
 	EmbedNanos int64 // cumulative wall time inside core.EmbedXTree
 	CacheLen   int   // embeddings currently cached
+	// Observability counters: where submitted work spends its time.
+	QueueWaitNanos int64 // cumulative time jobs sat queued before a worker took them
+	BusyNanos      int64 // cumulative time workers spent processing jobs
+	UptimeNanos    int64 // wall time since the engine started
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -97,11 +101,35 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
+// Utilization returns the fraction of total worker-seconds spent
+// processing jobs since the engine started, in [0, 1] (modulo snapshot
+// skew while jobs are in flight).
+func (s Stats) Utilization() float64 {
+	if s.Workers <= 0 || s.UptimeNanos <= 0 {
+		return 0
+	}
+	u := float64(s.BusyNanos) / (float64(s.UptimeNanos) * float64(s.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// AvgQueueWait returns the mean time a completed job waited in the queue
+// before a worker picked it up.
+func (s Stats) AvgQueueWait() time.Duration {
+	if s.Completed == 0 {
+		return 0
+	}
+	return time.Duration(s.QueueWaitNanos / s.Completed)
+}
+
 type job struct {
-	ctx     context.Context
-	tree    *bintree.Tree
-	index   int
-	deliver func(BatchItem)
+	ctx      context.Context
+	tree     *bintree.Tree
+	index    int
+	queuedAt time.Time
+	deliver  func(BatchItem)
 }
 
 // Engine is a concurrent batch embedder.  All methods are safe for
@@ -125,6 +153,8 @@ type Engine struct {
 	hits, misses, inFlight       atomic.Int64
 	submitted, completed, errCnt atomic.Int64
 	embedNanos                   atomic.Int64
+	queueWaitNanos, busyNanos    atomic.Int64
+	started                      time.Time
 }
 
 // New starts an engine with the given configuration.  Callers own the
@@ -149,6 +179,7 @@ func New(cfg Config) *Engine {
 		workers: workers,
 		jobs:    make(chan job, 4*workers),
 		results: make(chan BatchItem, 4*workers),
+		started: time.Now(),
 	}
 	if size > 0 {
 		e.cache = newLRU(size)
@@ -185,6 +216,7 @@ func (e *Engine) send(ctx context.Context, jb job) error {
 	if e.closed {
 		return ErrClosed
 	}
+	jb.queuedAt = time.Now()
 	select {
 	case e.jobs <- jb:
 		e.submitted.Add(1)
@@ -264,6 +296,10 @@ func (e *Engine) Stats() Stats {
 		Completed:  e.completed.Load(),
 		Errors:     e.errCnt.Load(),
 		EmbedNanos: e.embedNanos.Load(),
+
+		QueueWaitNanos: e.queueWaitNanos.Load(),
+		BusyNanos:      e.busyNanos.Load(),
+		UptimeNanos:    time.Since(e.started).Nanoseconds(),
 	}
 	if e.cache != nil {
 		s.CacheLen = e.cache.len()
@@ -274,8 +310,11 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for jb := range e.jobs {
+		start := time.Now()
+		e.queueWaitNanos.Add(start.Sub(jb.queuedAt).Nanoseconds())
 		e.inFlight.Add(1)
 		item := e.process(jb)
+		e.busyNanos.Add(time.Since(start).Nanoseconds())
 		e.inFlight.Add(-1)
 		e.completed.Add(1)
 		if item.Err != nil {

@@ -356,3 +356,46 @@ func TestEmbedErrorReported(t *testing.T) {
 		t.Errorf("errors = %d, want 2", s.Errors)
 	}
 }
+
+func TestStatsObservabilityCounters(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	trees := make([]*bintree.Tree, 8)
+	for i := range trees {
+		trees[i] = mustGen(t, bintree.FamilyRandom, 63, int64(i+1))
+	}
+	items := e.EmbedBatch(context.Background(), trees)
+	for _, it := range items {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+	}
+	s := e.Stats()
+	if s.BusyNanos <= 0 {
+		t.Errorf("BusyNanos = %d after %d embeddings", s.BusyNanos, len(trees))
+	}
+	if s.QueueWaitNanos < 0 {
+		t.Errorf("negative QueueWaitNanos %d", s.QueueWaitNanos)
+	}
+	if s.UptimeNanos <= 0 {
+		t.Errorf("UptimeNanos = %d", s.UptimeNanos)
+	}
+	if u := s.Utilization(); u < 0 || u > 1 {
+		t.Errorf("Utilization() = %v outside [0,1]", u)
+	}
+	if s.AvgQueueWait() < 0 {
+		t.Errorf("AvgQueueWait() = %v", s.AvgQueueWait())
+	}
+	// Busy time includes every embedding, so it can't be below the
+	// measured embed time minus snapshot skew.
+	if s.BusyNanos < s.EmbedNanos {
+		t.Errorf("BusyNanos %d < EmbedNanos %d", s.BusyNanos, s.EmbedNanos)
+	}
+}
+
+func TestStatsUtilizationZeroValues(t *testing.T) {
+	var s Stats
+	if s.Utilization() != 0 || s.AvgQueueWait() != 0 {
+		t.Errorf("zero Stats: Utilization %v, AvgQueueWait %v", s.Utilization(), s.AvgQueueWait())
+	}
+}

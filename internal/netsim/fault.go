@@ -224,19 +224,31 @@ func (s *sim) applyKills() {
 				continue
 			}
 			f.deadV[k.u] = true
+			if s.obs != nil {
+				s.obs.OnKill(KillInfo{Cycle: s.now, Vertex: true, U: k.u, V: k.u})
+			}
 			for _, nb := range s.host.Neighbors(int(k.u)) {
 				f.deadE[ekey(k.u, nb)] = true
 				f.deadE[ekey(nb, k.u)] = true
 				s.flushEdge(k.u, nb)
 				s.flushEdge(nb, k.u)
 			}
-			for _, m := range s.local[k.u] {
-				s.abandon(m)
+			if n := len(s.local[k.u]); n > 0 {
+				for _, m := range s.local[k.u] {
+					s.abandon(m)
+				}
+				s.queuedLocal -= n
+				s.local[k.u] = nil
 			}
-			s.local[k.u] = nil
 		} else {
+			if f.deadE[ekey(k.u, k.v)] {
+				continue // the link is already down (duplicate schedule entry)
+			}
 			f.deadE[ekey(k.u, k.v)] = true
 			f.deadE[ekey(k.v, k.u)] = true
+			if s.obs != nil {
+				s.obs.OnKill(KillInfo{Cycle: s.now, U: k.u, V: k.v})
+			}
 			s.flushEdge(k.u, k.v)
 			s.flushEdge(k.v, k.u)
 		}
@@ -250,11 +262,17 @@ func (s *sim) applyKills() {
 // flushEdge loses every message queued on the directed edge u→v.
 func (s *sim) flushEdge(u, v int32) {
 	idx, ok := s.edgeIndex[ekey(u, v)]
-	if !ok || len(s.queues[idx]) == 0 {
+	if !ok {
 		return
 	}
-	for _, m := range s.queues[idx] {
-		s.lose(m, true)
+	q := &s.queues[idx]
+	n := q.length()
+	if n == 0 {
+		return
 	}
-	s.queues[idx] = nil
+	for _, m := range q.live() {
+		s.lose(m, DropKilled)
+	}
+	q.reset()
+	s.queuedLinks -= n
 }

@@ -13,6 +13,13 @@
 // pass through memory in one cycle without using links.  The measured
 // makespan ratio between the host and the ideal guest machine is the
 // slowdown the dilation actually induces.
+//
+// The one-hop-per-cycle discipline is the model invariant everything
+// rests on: if a message could cross two links in one cycle, dilation
+// would no longer bound the slowdown and every measured ratio would be
+// fiction.  Observer hooks (observer.go) make the discipline checkable —
+// LinkAudit re-verifies it every cycle — and export per-event traces and
+// per-cycle time series without perturbing the simulation.
 package netsim
 
 import (
@@ -59,6 +66,16 @@ type Config struct {
 	// ack/retransmission delivery layer.  A nil or inert plan leaves
 	// the simulator behavior byte-identical to a run without one.
 	Faults *FaultPlan
+	// Observers receive per-cycle and per-event callbacks (see
+	// Observer).  An empty list costs nothing on the hot path.
+	Observers []Observer
+
+	// legacyMultiHop re-enables the pre-fix Phase 1 scheduler, which
+	// let a message forwarded onto a higher-indexed queue move again in
+	// the same cycle (several hops per cycle on ascending routes).
+	// Test-only: it exists so the audit tests can prove LinkAudit
+	// catches exactly that class of bug.
+	legacyMultiHop bool
 }
 
 // Result summarizes a run.
@@ -67,7 +84,7 @@ type Result struct {
 	Delivered   int // guest messages delivered
 	HopsTotal   int // link traversals consumed
 	MaxLinkLoad int // heaviest total traffic on one directed link
-	MaxQueue    int // longest link backlog observed
+	MaxQueue    int // longest link backlog observed (sampled at enqueue time)
 	// Per-message latency (emit to delivery, in cycles): median, 99th
 	// percentile and maximum.  Makespan hides queuing tails; these
 	// don't.
@@ -84,6 +101,7 @@ type Result struct {
 
 type message struct {
 	ev      Event
+	seq     int64 // emission number; identifies the message across hops and retries
 	srcHost int32 // retransmissions restart here
 	dstHost int32
 	sentAt  int
@@ -94,6 +112,39 @@ type message struct {
 	rerouted bool // left its preferred route; stays on alive-graph routing
 }
 
+// linkQueue is a FIFO of messages on one directed link.  Popping advances
+// a head index instead of reslicing, and the live tail is copied down once
+// the dead prefix dominates, so the backing array is bounded by the peak
+// backlog instead of growing with the link's total lifetime traffic.
+type linkQueue struct {
+	buf  []message
+	head int
+}
+
+func (q *linkQueue) length() int { return len(q.buf) - q.head }
+
+func (q *linkQueue) push(m message) { q.buf = append(q.buf, m) }
+
+func (q *linkQueue) pop() message {
+	m := q.buf[q.head]
+	q.head++
+	if q.head >= 16 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return m
+}
+
+// live returns the queued messages in FIFO order; reset empties the queue
+// keeping the backing array.
+func (q *linkQueue) live() []message { return q.buf[q.head:] }
+
+func (q *linkQueue) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
 type sim struct {
 	host    *graph.Graph
 	place   []int32
@@ -101,19 +152,26 @@ type sim struct {
 	nextHop [][]int32                  // nextHop[dst][cur] = neighbor of cur toward dst
 	hopFn   func(cur, dst int32) int32 // overrides the tables when non-nil
 
-	edges     [][2]int32    // directed edges in deterministic order
-	edgeIndex map[int64]int // (u<<32)|v -> index into edges/queues
-	queues    [][]message   // per directed edge, FIFO
-	traffic   []int         // total messages ever moved per edge
-	local     [][]message   // per-vertex memory queues
+	edges     [][2]int32 // directed edges in deterministic order
+	edgeIndex map[int64]int
+	queues    []linkQueue // per directed edge, FIFO
+	active    []int       // scratch: links busy at the start of the cycle
+	traffic   []int       // total messages ever moved per edge
+	local     [][]message // per-vertex memory queues
 
-	inflight  int
-	now       int   // current cycle
-	latencies []int // per delivered message, in cycles
-	res       Result
+	inflight    int
+	emitted     int64 // guest events accepted so far; doubles as the next seq
+	queuedLinks int   // messages sitting on link queues right now
+	queuedLocal int   // messages sitting in memory queues right now
+	now         int   // current cycle
+	latencies   []int // per delivered message, in cycles
+	res         Result
 
+	obs    Observer    // nil when no observers are attached
 	faults *faultState // nil on a fault-free run
 	retx   []retx      // messages parked for retransmission
+
+	legacyMultiHop bool
 }
 
 // Run simulates the workload on the host with the given placement until
@@ -142,7 +200,8 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 	if maxCycles <= 0 {
 		maxCycles = 1 << 20
 	}
-	s := &sim{host: cfg.Host, place: cfg.Place, wl: wl, hopFn: cfg.NextHop}
+	s := &sim{host: cfg.Host, place: cfg.Place, wl: wl, hopFn: cfg.NextHop,
+		obs: combineObservers(cfg.Observers), legacyMultiHop: cfg.legacyMultiHop}
 	if cfg.Faults != nil {
 		fs, err := newFaultState(cfg.Faults, cfg.Host)
 		if err != nil {
@@ -159,10 +218,10 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 		s.applyKills() // kills scheduled at cycle ≤ 0 are dead from the start
 	}
 
-	var emitted []Event
-	emit := func(ev Event) { emitted = append(emitted, ev) }
+	var pending []Event
+	emit := func(ev Event) { pending = append(pending, ev) }
 	wl.Init(emit)
-	if err := s.route(emitted); err != nil {
+	if err := s.route(pending); err != nil {
 		return s.res, err
 	}
 
@@ -192,46 +251,54 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			}
 			return s.res, nil
 		}
-		// Phase 1: one message crosses every busy link; all memory
-		// queues drain.
+		if s.obs != nil {
+			s.obs.OnCycleStart(CycleInfo{
+				Cycle:       cycle,
+				Links:       len(s.edges),
+				Inflight:    s.inflight,
+				Emitted:     s.emitted,
+				Delivered:   s.res.Delivered,
+				Unreachable: s.res.Unreachable,
+				QueuedLinks: s.queuedLinks,
+				QueuedLocal: s.queuedLocal,
+				Parked:      len(s.retx),
+			})
+		}
+		// Phase 1: every link that was busy at the start of the cycle
+		// moves exactly one message — its head as of the cycle start —
+		// and all memory queues drain.  The busy set is snapshotted
+		// first: a message forwarded onto a later-indexed queue this
+		// cycle must NOT move again until the next cycle, or a message
+		// on an ascending route would cross several links per cycle and
+		// dilation would no longer bound the slowdown.
 		var arrived []message // at-destination deliveries this cycle
-		for i := range s.queues {
-			if len(s.queues[i]) == 0 {
-				continue
-			}
-			m := s.queues[i][0]
-			s.queues[i] = s.queues[i][1:]
-			here := s.edges[i][1]
-			s.res.HopsTotal++
-			s.traffic[i]++
-			if f := s.faults; f != nil {
-				if f.plan.DropProb > 0 && f.rng.Float64() < f.plan.DropProb {
-					s.lose(m, true)
+		if s.legacyMultiHop {
+			for i := range s.queues {
+				if s.queues[i].length() == 0 {
 					continue
 				}
-				if f.plan.CorruptProb > 0 && !m.corrupt && f.rng.Float64() < f.plan.CorruptProb {
-					m.corrupt = true
-					s.res.Corruptions++
+				if err := s.moveHead(i, &arrived); err != nil {
+					return s.res, err
 				}
 			}
-			if m.dstHost == here {
-				if m.corrupt {
-					// Checksum failure at delivery: the receiver
-					// discards and nacks; the source retransmits.
-					s.lose(m, false)
-					continue
+		} else {
+			s.active = s.active[:0]
+			for i := range s.queues {
+				if s.queues[i].length() > 0 {
+					s.active = append(s.active, i)
 				}
-				arrived = append(arrived, m)
-			} else {
-				if err := s.enqueue(here, m); err != nil {
+			}
+			for _, i := range s.active {
+				if err := s.moveHead(i, &arrived); err != nil {
 					return s.res, err
 				}
 			}
 		}
 		for v := range s.local {
-			if len(s.local[v]) > 0 {
+			if n := len(s.local[v]); n > 0 {
 				arrived = append(arrived, s.local[v]...)
-				s.local[v] = nil
+				s.queuedLocal -= n
+				s.local[v] = s.local[v][:0]
 			}
 		}
 		// Phase 2: deliver in a deterministic order and route the
@@ -257,7 +324,7 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			}
 			return x.sentAt < y.sentAt
 		})
-		emitted = emitted[:0]
+		pending = pending[:0]
 		for _, m := range arrived {
 			if s.faults != nil && s.faults.deadV[m.dstHost] {
 				s.abandon(m) // destination died while the message was in flight
@@ -265,22 +332,58 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			}
 			s.inflight--
 			s.res.Delivered++
-			s.latencies = append(s.latencies, cycle-m.sentAt)
+			lat := cycle - m.sentAt
+			s.latencies = append(s.latencies, lat)
+			if s.obs != nil {
+				s.obs.OnDeliver(DeliverInfo{Cycle: cycle, Host: m.dstHost, Seq: m.seq,
+					Ev: m.ev, Latency: lat, Local: m.srcHost == m.dstHost})
+			}
 			s.wl.OnMessage(m.ev, emit)
 		}
-		if err := s.route(emitted); err != nil {
+		if err := s.route(pending); err != nil {
 			return s.res, err
-		}
-		for i := range s.queues {
-			if q := len(s.queues[i]); q > s.res.MaxQueue {
-				s.res.MaxQueue = q
-			}
 		}
 	}
 	// The cap burned every cycle: report them, don't leave Cycles at 0.
 	s.res.Cycles = maxCycles
 	s.finishStats()
 	return s.res, fmt.Errorf("netsim: no quiescence within %d cycles", maxCycles)
+}
+
+// moveHead crosses one message over link i: the head of its queue either
+// arrives (destination reached), is lost to the fault layer, or is
+// forwarded onto the next link of its route.
+func (s *sim) moveHead(i int, arrived *[]message) error {
+	m := s.queues[i].pop()
+	s.queuedLinks--
+	here := s.edges[i][1]
+	s.res.HopsTotal++
+	s.traffic[i]++
+	if s.obs != nil {
+		s.obs.OnHop(HopInfo{Cycle: s.now, Edge: i, From: s.edges[i][0], To: here,
+			Seq: m.seq, Ev: m.ev, Backlog: s.queues[i].length()})
+	}
+	if f := s.faults; f != nil {
+		if f.plan.DropProb > 0 && f.rng.Float64() < f.plan.DropProb {
+			s.lose(m, DropRandom)
+			return nil
+		}
+		if f.plan.CorruptProb > 0 && !m.corrupt && f.rng.Float64() < f.plan.CorruptProb {
+			m.corrupt = true
+			s.res.Corruptions++
+		}
+	}
+	if m.dstHost == here {
+		if m.corrupt {
+			// Checksum failure at delivery: the receiver discards
+			// and nacks; the source retransmits.
+			s.lose(m, DropCorrupt)
+			return nil
+		}
+		*arrived = append(*arrived, m)
+		return nil
+	}
+	return s.enqueue(here, m)
 }
 
 // route injects freshly emitted guest messages at their source vertices.
@@ -290,16 +393,22 @@ func (s *sim) route(evs []Event) error {
 			return fmt.Errorf("netsim: event %v references unknown process", ev)
 		}
 		src, dst := s.place[ev.From], s.place[ev.To]
+		seq := s.emitted
+		s.emitted++
 		if s.faults != nil && (s.faults.deadV[src] || s.faults.deadV[dst]) {
 			// A dead guest neither sends nor receives; kills are
 			// permanent, so retrying cannot help.
 			s.res.Unreachable++
+			if s.obs != nil {
+				s.obs.OnDrop(DropInfo{Cycle: s.now, Seq: seq, Ev: ev, Reason: DropUnreachable})
+			}
 			continue
 		}
 		s.inflight++
-		m := message{ev: ev, srcHost: src, dstHost: dst, sentAt: s.now}
+		m := message{ev: ev, seq: seq, srcHost: src, dstHost: dst, sentAt: s.now}
 		if src == dst {
 			s.local[src] = append(s.local[src], m)
+			s.queuedLocal++
 			continue
 		}
 		if err := s.enqueue(src, m); err != nil {
@@ -344,7 +453,14 @@ func (s *sim) enqueue(at int32, m message) error {
 	if !ok {
 		return fmt.Errorf("netsim: missing edge %d->%d", at, nh)
 	}
-	s.queues[idx] = append(s.queues[idx], m)
+	s.queues[idx].push(m)
+	s.queuedLinks++
+	// The true backlog peak happens at enqueue time: sampling once per
+	// cycle after routing misses the spikes built during Phase-1
+	// forwarding and the initial emission burst.
+	if l := s.queues[idx].length(); l > s.res.MaxQueue {
+		s.res.MaxQueue = l
+	}
 	return nil
 }
 
@@ -385,10 +501,10 @@ func (s *sim) buildEdges() {
 		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		for _, v := range ns {
 			s.edgeIndex[ekey(int32(u), v)] = len(s.edges)
-			s.edges = append(s.edges, [2]int32{int32(u), int32(v)})
+			s.edges = append(s.edges, [2]int32{int32(u), v})
 		}
 	}
-	s.queues = make([][]message, len(s.edges))
+	s.queues = make([]linkQueue, len(s.edges))
 	s.traffic = make([]int, len(s.edges))
 }
 

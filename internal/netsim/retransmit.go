@@ -8,12 +8,16 @@ type retx struct {
 
 // lose handles a message lost in flight under an active fault plan: the
 // source is nacked and retransmits after an exponential backoff, unless
-// the retry budget is spent.  countDrop distinguishes true in-flight
-// losses (random drops, kill casualties) from corruption discards, which
-// were already counted when the payload was mangled.
-func (s *sim) lose(m message, countDrop bool) {
-	if countDrop {
+// the retry budget is spent.  The reason distinguishes true in-flight
+// losses (random drops, kill casualties), which count as Drops, from
+// corruption discards, which were already counted when the payload was
+// mangled.
+func (s *sim) lose(m message, reason DropReason) {
+	if reason != DropCorrupt {
 		s.res.Drops++
+	}
+	if s.obs != nil {
+		s.obs.OnDrop(DropInfo{Cycle: s.now, Seq: m.seq, Ev: m.ev, Reason: reason, Attempt: m.attempts})
 	}
 	m.corrupt = false
 	m.attempts++
@@ -30,9 +34,12 @@ func (s *sim) lose(m message, countDrop bool) {
 
 // abandon gives up on a message for good.  It stays counted in inflight
 // until here, so quiescence still waits for every parked retransmission.
-func (s *sim) abandon(message) {
+func (s *sim) abandon(m message) {
 	s.res.Unreachable++
 	s.inflight--
+	if s.obs != nil {
+		s.obs.OnDrop(DropInfo{Cycle: s.now, Seq: m.seq, Ev: m.ev, Reason: DropUnreachable, Attempt: m.attempts})
+	}
 }
 
 // releaseRetx re-sends every parked message whose backoff has elapsed.
@@ -52,6 +59,9 @@ func (s *sim) releaseRetx() error {
 			continue
 		}
 		s.res.Retransmits++
+		if s.obs != nil {
+			s.obs.OnRetransmit(RetransmitInfo{Cycle: s.now, Seq: r.m.seq, Ev: r.m.ev, Attempt: r.m.attempts})
+		}
 		if err := s.enqueue(r.m.srcHost, r.m); err != nil {
 			return err
 		}

@@ -84,7 +84,31 @@ type (
 	LinkKill = netsim.LinkKill
 	// VertexKill schedules a permanent vertex failure in a FaultPlan.
 	VertexKill = netsim.VertexKill
+	// Observer receives read-only per-cycle and per-event simulator
+	// callbacks; attach one with WithObserver.
+	Observer = netsim.Observer
+	// LinkAudit is the invariant-checking observer: one hop per link and
+	// per message per cycle, counter conservation every cycle.
+	LinkAudit = netsim.LinkAudit
+	// TraceRecorder records simulator events for JSONL or Chrome-trace
+	// export; attach one with WithTrace or WithObserver.
+	TraceRecorder = netsim.TraceRecorder
+	// TimeSeries records per-cycle queue/inflight/utilization samples.
+	TimeSeries = netsim.TimeSeries
+	// TraceEvent is one recorded simulator event in a TraceRecorder.
+	TraceEvent = netsim.TraceEvent
+	// CycleSample is one per-cycle TimeSeries measurement.
+	CycleSample = netsim.CycleSample
 )
+
+// NewLinkAudit returns a ready-to-attach invariant auditor.
+func NewLinkAudit() *LinkAudit { return netsim.NewLinkAudit() }
+
+// NewTraceRecorder returns a ready-to-attach event recorder.
+func NewTraceRecorder() *TraceRecorder { return netsim.NewTraceRecorder() }
+
+// NewTimeSeries returns a ready-to-attach time-series collector.
+func NewTimeSeries() *TimeSeries { return netsim.NewTimeSeries() }
 
 // Guest-tree families for GenerateTree.
 const (
@@ -337,6 +361,24 @@ func WithFaults(p *FaultPlan) SimOption {
 // WithSimMaxCycles overrides the simulator's safety cap on cycles.
 func WithSimMaxCycles(n int) SimOption {
 	return func(c *SimConfig) { c.MaxCycles = n }
+}
+
+// WithObserver attaches one or more observers to the run.  Observers are
+// read-only — the Result is byte-identical with or without them — and can
+// be combined freely across calls; nil entries are ignored.
+func WithObserver(obs ...Observer) SimOption {
+	return func(c *SimConfig) { c.Observers = append(c.Observers, obs...) }
+}
+
+// WithTrace attaches the given TraceRecorder to the run; after the run,
+// export with rec.WriteJSONL or rec.WriteChromeTrace.  Shorthand for
+// WithObserver(rec) that keeps call sites self-documenting.
+func WithTrace(rec *TraceRecorder) SimOption {
+	return func(c *SimConfig) {
+		if rec != nil {
+			c.Observers = append(c.Observers, rec)
+		}
+	}
 }
 
 func applySimOptions(cfg SimConfig, opts []SimOption) SimConfig {
