@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke
+.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench
 
 all: vet test
 
@@ -63,6 +63,21 @@ audit-smoke:
 	$(GO) run ./cmd/xtree-bench -exp e10 -maxr 4 -audit
 	$(GO) run ./cmd/xtree-bench -exp e17 -maxr 4 -audit
 
+# Run the embedding service on :8080 (Ctrl-C for a graceful drain).
+serve:
+	$(GO) run ./cmd/xtree-serve -addr :8080
+
+# The serving acceptance gate (also the CI serve job): boots real
+# servers and checks health, Theorem 1 bounds over the wire, Prometheus
+# metrics, 429 + Retry-After at queue saturation, and a graceful
+# shutdown that drains every in-flight request.
+serve-smoke:
+	$(GO) run ./cmd/xtree-serve -smoke
+
+# E18 only: serving latency/throughput sweep; writes BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/xtree-bench -exp e18
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/batch
@@ -72,6 +87,7 @@ examples:
 	$(GO) run ./examples/universal
 	$(GO) run ./examples/hypercube
 	$(GO) run ./examples/separators
+	$(GO) run ./examples/serve
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+
+	"xtreesim/internal/buildinfo"
 )
 
 var (
@@ -26,18 +28,23 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e17) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e18) or 'all'")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 	runners := map[string]func(){
 		"e1": e1Theorem1, "e2": e2Injective, "e3": e3Hypercube,
 		"e4": e4Universal, "e5": e5Lemmas, "e6": e6Lemma3,
 		"e7": e7Figures, "e8": e8Imbalance, "e9": e9Baselines,
 		"e10": e10Simulation, "e11": e11Ablation, "e12": e12Congestion,
 		"e13": e13Scaling, "e14": e14Butterfly, "e15": e15Fibonacci,
-		"e16": e16FaultSweep, "e17": e17Observability,
+		"e16": e16FaultSweep, "e17": e17Observability, "e18": e18Serving,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"} {
 			runners[id]()
 		}
 		return

@@ -1,0 +1,151 @@
+// Command xtree-serve runs the embedding service: a long-running HTTP
+// process over the shared batch engine with admission control, load
+// shedding, per-request deadlines and Prometheus metrics.
+//
+// Usage:
+//
+//	xtree-serve -addr :8080                 # serve until SIGINT/SIGTERM
+//	xtree-serve -loadgen -url http://host:8080 -c 16 -n 2000
+//	xtree-serve -smoke                      # self-check: boot, drive, verify, exit
+//	xtree-serve -version
+//
+// Serving flags tune the production knobs: -workers and -cache size the
+// engine, -max-concurrent and -queue bound admission, -timeout is the
+// per-request deadline, -max-body/-max-batch/-max-tree cap inputs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xtreesim/internal/buildinfo"
+	"xtreesim/internal/engine"
+	"xtreesim/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "engine workers (0 = one per CPU)")
+		cache   = flag.Int("cache", 0, "engine cache entries (0 = default, negative = disabled)")
+
+		maxConcurrent = flag.Int("max-concurrent", 0, "API requests processed at once (0 = one per CPU)")
+		maxQueue      = flag.Int("queue", -1, "admission wait-queue length (-1 = 4x max-concurrent, 0 = shed when busy)")
+		timeout       = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline")
+		maxBody       = flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
+		maxBatch      = flag.Int("max-batch", server.DefaultMaxBatch, "max trees per embed request")
+		maxTree       = flag.Int("max-tree", server.DefaultMaxTreeNodes, "max nodes per guest tree")
+		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		url      = flag.String("url", "", "loadgen: target base URL (default: boot an in-process server)")
+		conc     = flag.Int("c", 8, "loadgen: concurrent workers")
+		requests = flag.Int("n", 500, "loadgen: total requests")
+		treeN    = flag.Int("tree-n", 1008, "loadgen: guest tree size")
+		shapes   = flag.Int("shapes", 8, "loadgen: distinct tree shapes in the mix")
+
+		smoke      = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
+		verFlag    = flag.Bool("version", false, "print build info and exit")
+		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	switch {
+	case *verFlag:
+		fmt.Println(buildinfo.Version())
+	case *smoke:
+		if err := runSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve-smoke: PASS")
+	case *loadgen:
+		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		cfg := server.Config{
+			Addr:           *addr,
+			EngineConfig:   engine.Config{Workers: *workers, CacheSize: *cache},
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			RequestTimeout: *timeout,
+			MaxBodyBytes:   *maxBody,
+			MaxBatch:       *maxBatch,
+			MaxTreeNodes:   *maxTree,
+			AccessLog:      !*quiet,
+			Version:        buildinfo.Version(),
+		}
+		if err := serve(cfg, *drainGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "xtree-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// serve boots the server and blocks until SIGINT/SIGTERM, then drains.
+func serve(cfg server.Config, grace time.Duration) error {
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	log.Printf("xtree-serve: %s", buildinfo.Version())
+	log.Printf("xtree-serve: listening on http://%s", s.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigc
+	log.Printf("xtree-serve: %v received, draining (budget %s)", sig, grace)
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("xtree-serve: drained, bye")
+	return nil
+}
+
+// runLoadgen drives url (or a freshly booted local server when url is
+// empty) and prints the client-side report plus the server's engine
+// counters when it owns the server.
+func runLoadgen(url string, conc, requests, treeN, shapes int) error {
+	var s *server.Server
+	if url == "" {
+		s = server.New(server.Config{})
+		if err := s.Start(); err != nil {
+			return err
+		}
+		url = s.URL()
+		fmt.Printf("loadgen: booted in-process server at %s\n", url)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+	}
+	rep, err := server.RunLoad(server.LoadConfig{
+		BaseURL:        url,
+		Concurrency:    conc,
+		Requests:       requests,
+		TreeN:          treeN,
+		DistinctShapes: shapes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if s != nil {
+		st := s.Stats()
+		fmt.Printf("engine: hits=%d misses=%d hit_rate=%.2f utilization=%.2f avg_queue_wait=%s\n",
+			st.Hits, st.Misses, st.HitRate(), st.Utilization(), st.AvgQueueWait().Round(time.Microsecond))
+	}
+	return nil
+}

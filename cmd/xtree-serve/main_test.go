@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"xtreesim/internal/buildinfo"
+)
+
+// TestSmoke runs the full -smoke self-check in-process: the same gate
+// `make serve-smoke` and the CI serve job use.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke boots three servers; skipped in -short")
+	}
+	if err := runSmoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadgenInProcess(t *testing.T) {
+	if err := runLoadgen("", 2, 10, 255, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := buildinfo.Version()
+	if !strings.HasPrefix(v, "xtreesim") || !strings.Contains(v, "go1") {
+		t.Errorf("version %q", v)
+	}
+}

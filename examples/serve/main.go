@@ -1,0 +1,103 @@
+// Command serve is the minimal client for the embedding service: it
+// boots a server in-process on an ephemeral port, embeds one tree over
+// the wire with plain JSON (the same bytes any curl or non-Go client
+// would send), runs one simulation, and scrapes /metrics.  See the
+// README "Serving" section for the equivalent curl invocations against
+// a standalone `xtree-serve` process.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"xtreesim"
+)
+
+func main() {
+	srv := xtreesim.NewServer(xtreesim.ServerConfig{})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	url := srv.URL()
+	fmt.Printf("server up at %s\n\n", url)
+
+	// One embed: a random 1008-node binary tree onto its X-tree host.
+	var embed struct {
+		Items []struct {
+			N            int     `json:"n"`
+			Host         string  `json:"host"`
+			HostVertices int     `json:"host_vertices"`
+			Height       int     `json:"height"`
+			Dilation     int     `json:"dilation"`
+			AvgDilation  float64 `json:"avg_dilation"`
+			MaxLoad      int     `json:"max_load"`
+			Expansion    float64 `json:"expansion"`
+			CacheHit     bool    `json:"cache_hit"`
+		} `json:"items"`
+	}
+	post(url+"/v1/embed", `{"tree": {"family": "random", "n": 1008, "seed": 42}}`, &embed)
+	it := embed.Items[0]
+	fmt.Printf("POST /v1/embed: n=%d onto %s X(%d) (%d vertices)\n",
+		it.N, it.Host, it.Height, it.HostVertices)
+	fmt.Printf("  dilation=%d (avg %.2f)  load=%d  expansion=%.2f  cache_hit=%v\n",
+		it.Dilation, it.AvgDilation, it.MaxLoad, it.Expansion, it.CacheHit)
+	fmt.Printf("  Theorem 1 bounds over the wire: dilation ≤ 3 is %v, load ≤ 16 is %v\n\n",
+		it.Dilation <= 3, it.MaxLoad <= 16)
+
+	// One simulation: divide-and-conquer through the same embedding.
+	var sim struct {
+		Sim struct {
+			Cycles    int `json:"cycles"`
+			Delivered int `json:"delivered"`
+		} `json:"sim"`
+		IdealCycles int     `json:"ideal_cycles"`
+		Slowdown    float64 `json:"slowdown"`
+	}
+	post(url+"/v1/simulate",
+		`{"tree": {"family": "random", "n": 1008, "seed": 42},
+		  "workload": "divide-conquer", "baseline": true}`, &sim)
+	fmt.Printf("POST /v1/simulate: %d cycles, %d delivered, slowdown %.2fx vs ideal %d\n\n",
+		sim.Sim.Cycles, sim.Sim.Delivered, sim.Slowdown, sim.IdealCycles)
+
+	// Scrape /metrics and show the serving counters this session moved.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("GET /metrics (excerpt):")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "xtreesim_http_requests_total") ||
+			strings.HasPrefix(line, "xtreesim_engine_cache") {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+func post(url, body string, out interface{}) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatalf("decode %s: %v", url, err)
+	}
+}

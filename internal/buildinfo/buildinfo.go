@@ -1,0 +1,51 @@
+// Package buildinfo reports what binary is running: the module version
+// and the VCS revision baked in by the go toolchain.  Both serving
+// binaries expose it behind -version, and the server reports it on
+// /healthz, so a fleet operator can tell which build answered.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version renders a one-line build description, e.g.
+//
+//	xtreesim (devel) rev 537627b (modified) go1.22.1
+//
+// Fields missing from the build info (e.g. in plain `go test`) are
+// omitted rather than guessed.
+func Version() string {
+	var b strings.Builder
+	b.WriteString("xtreesim")
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprintf(&b, " (no build info) %s", runtime.Version())
+		return b.String()
+	}
+	if v := info.Main.Version; v != "" {
+		fmt.Fprintf(&b, " %s", v)
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if modified == "true" {
+			b.WriteString(" (modified)")
+		}
+	}
+	fmt.Fprintf(&b, " %s", runtime.Version())
+	return b.String()
+}

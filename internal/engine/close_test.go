@@ -1,0 +1,131 @@
+package engine
+
+// close_test.go is the shutdown-safety regression suite: the serving
+// layer closes its owned engine while HTTP handlers may still be inside
+// Submit or EmbedBatch, so Close racing live submitters must never
+// panic, deadlock, or lose a result without an error.  These tests run
+// under the CI race job alongside the rest of the engine suite.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"xtreesim/internal/bintree"
+)
+
+// TestCloseDuringConcurrentSubmit hammers Submit from many goroutines
+// while Close fires midway: every call must either succeed (and its
+// result eventually arrive on Results) or fail with ErrClosed — no
+// panics, no hangs, and no index consumed by a rejected call.
+func TestCloseDuringConcurrentSubmit(t *testing.T) {
+	eng := New(Config{Workers: 2, CacheSize: 8})
+	tr := mustGen(t, "random", 255, 1)
+
+	const goroutines = 16
+	const perG = 50
+	var accepted, rejected int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_, err := eng.Submit(context.Background(), tr)
+				mu.Lock()
+				if err == nil {
+					accepted++
+				} else {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("Submit: %v, want ErrClosed", err)
+					}
+					rejected++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Drain Results concurrently so accepted submissions can complete,
+	// and count them: accepted work must not vanish.
+	done := make(chan int64)
+	go func() {
+		var got int64
+		for range eng.Results() {
+			got++
+		}
+		done <- got
+	}()
+
+	time.Sleep(2 * time.Millisecond) // let the flood start
+	eng.Close()
+	wg.Wait()
+
+	select {
+	case got := <-done:
+		mu.Lock()
+		defer mu.Unlock()
+		if got != accepted {
+			t.Errorf("results delivered = %d, accepted = %d", got, accepted)
+		}
+		if accepted+rejected != goroutines*perG {
+			t.Errorf("accounted %d of %d calls", accepted+rejected, goroutines*perG)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Results never closed after Close")
+	}
+}
+
+// TestCloseDuringConcurrentEmbedBatch races Close against in-flight
+// EmbedBatch callers: each batch item must carry either a valid
+// embedding or ErrClosed, never a silent zero value.
+func TestCloseDuringConcurrentEmbedBatch(t *testing.T) {
+	eng := New(Config{Workers: 2, CacheSize: 8})
+	trees := []*bintree.Tree{
+		mustGen(t, "random", 255, 1),
+		mustGen(t, "random", 255, 2),
+		mustGen(t, "random", 255, 3),
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, it := range eng.EmbedBatch(context.Background(), trees) {
+					if it.Err == nil && it.Result == nil {
+						t.Error("batch item with neither result nor error")
+					}
+					if it.Err != nil && !errors.Is(it.Err, ErrClosed) {
+						t.Errorf("batch item error %v, want ErrClosed", it.Err)
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	eng.Close()
+	wg.Wait()
+}
+
+// TestSubmitAfterCloseReturnsErrClosed pins the post-Close contract the
+// server relies on during graceful shutdown.
+func TestSubmitAfterCloseReturnsErrClosed(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	tr := mustGen(t, "random", 63, 1)
+	eng.Close()
+	if _, err := eng.Submit(context.Background(), tr); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close: %v, want ErrClosed", err)
+	}
+	for _, it := range eng.EmbedBatch(context.Background(), []*bintree.Tree{tr}) {
+		if !errors.Is(it.Err, ErrClosed) {
+			t.Errorf("EmbedBatch after Close: %v, want ErrClosed", it.Err)
+		}
+	}
+	// Close must be idempotent.
+	eng.Close()
+}

@@ -1,0 +1,69 @@
+package server
+
+// admission.go is the backpressure layer: a fixed number of processing
+// slots fronted by a bounded wait queue.  A request either takes a slot
+// immediately, waits in the queue for one, or — when the queue is already
+// full — is shed with 429 and a Retry-After hint.  Shedding at the door
+// is the property the ROADMAP's "heavy traffic" goal needs: overload
+// turns into fast, explicit rejections instead of unbounded latency, and
+// the work that is admitted still finishes within its deadline.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned by acquire when the wait queue is full.
+var errShed = errors.New("server: admission queue full")
+
+// admission is a counting semaphore with a bounded wait queue.
+type admission struct {
+	slots    chan struct{} // capacity = max concurrent requests
+	maxQueue int64
+
+	queued atomic.Int64 // requests waiting for a slot
+	shed   atomic.Int64 // requests rejected because the queue was full
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire takes a processing slot.  It returns nil when the slot is held
+// (release it with release), errShed when the wait queue is full, or
+// ctx.Err() when the context fires while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// No free slot: join the queue if there is room.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return errShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the slots currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queueLen reports the requests currently waiting for a slot.
+func (a *admission) queueLen() int64 { return a.queued.Load() }
+
+// shedTotal reports the requests rejected so far.
+func (a *admission) shedTotal() int64 { return a.shed.Load() }

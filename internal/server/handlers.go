@@ -1,0 +1,296 @@
+package server
+
+// handlers.go implements the two API routes.  Both run inside the
+// guarded middleware, so by the time a handler executes the request
+// holds an admission slot, its body is size-capped, and its context
+// carries the per-request deadline — the handler's only jobs are
+// validation, the library calls, and shaping the response.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/core"
+	"xtreesim/internal/engine"
+	"xtreesim/internal/netsim"
+	"xtreesim/internal/universal"
+)
+
+// decodeJSON parses the body into v with unknown-field rejection, and
+// maps the failure modes to structured API errors.
+func decodeJSON(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &apiError{status: http.StatusRequestEntityTooLarge, code: CodePayloadTooLarge,
+				msg: "request body exceeds the size limit"}
+		}
+		return badRequest("body: %v", err)
+	}
+	return nil
+}
+
+// ctxError maps a context error to its API error (504 on deadline, 503
+// on client cancellation).
+func ctxError(err error) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded,
+			msg: "deadline exceeded"}
+	}
+	return &apiError{status: statusClientGone, code: CodeDeadlineExceeded, msg: err.Error()}
+}
+
+// handleEmbed implements POST /v1/embed.
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req EmbedRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	specs, err := req.specs(s.maxBatch)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	// Resolve every spec before embedding anything: bad input fails the
+	// whole request with a 4xx instead of burning engine time first.
+	trees := make([]*bintree.Tree, len(specs))
+	for i := range specs {
+		t, err := specs[i].resolve(s.maxTreeNodes)
+		if err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		trees[i] = t
+	}
+
+	items, err := s.embedTrees(r.Context(), &req, trees)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EmbedResponse{
+		Items:     items,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// embedTrees embeds a resolved batch for the requested host.  Per-item
+// failures land in EmbedItem.Error; a whole-request failure (context
+// expiry) is returned as an error.
+func (s *Server) embedTrees(ctx context.Context, req *EmbedRequest, trees []*bintree.Tree) ([]EmbedItem, error) {
+	if req.hostName() == HostUniversal {
+		return s.embedUniversal(ctx, trees)
+	}
+	items := make([]EmbedItem, len(trees))
+	// The shared engine is keyed to the theorem-default options; a
+	// request that overrides them runs the embedder directly so the
+	// cache stays sound.
+	if req.Height == 0 && !req.Strict {
+		for _, bi := range s.engine.EmbedBatch(ctx, trees) {
+			// The deadline is request-scoped: when the context killed
+			// the batch, the whole request is a 504, not a 200 with
+			// every item errored.
+			if bi.Err != nil && errors.Is(bi.Err, ctx.Err()) && ctx.Err() != nil {
+				return nil, ctxError(ctx.Err())
+			}
+			items[bi.Index] = s.embedItem(req, bi)
+		}
+		return items, nil
+	}
+	opts := core.DefaultOptions()
+	opts.Strict = req.Strict
+	if req.Height > 0 {
+		opts.Height = req.Height
+	}
+	for i, t := range trees {
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(err)
+		}
+		res, err := core.EmbedXTree(t, opts)
+		items[i] = s.embedItem(req, engine.BatchItem{Index: i, Tree: t, Result: res, Err: err})
+	}
+	return items, nil
+}
+
+// embedItem shapes one engine outcome into the wire item.
+func (s *Server) embedItem(req *EmbedRequest, bi engine.BatchItem) EmbedItem {
+	item := EmbedItem{Index: bi.Index}
+	if bi.Err != nil {
+		item.Error = bi.Err.Error()
+		return item
+	}
+	res := bi.Result
+	if req.hostName() == HostHypercube {
+		hr := core.EmbedHypercube(res)
+		emb := hr.Embedding()
+		return EmbedItem{
+			Index:        bi.Index,
+			N:            res.Guest.N(),
+			Host:         HostHypercube,
+			HostVertices: hr.Host.NumVertices(),
+			Height:       hr.Host.Dim(),
+			Dilation:     emb.DilationParallel(),
+			AvgDilation:  emb.AverageDilation(),
+			MaxLoad:      emb.MaxLoad(),
+			Expansion:    emb.Expansion(),
+			CacheHit:     bi.CacheHit,
+		}
+	}
+	emb := res.Embedding()
+	item = EmbedItem{
+		Index:        bi.Index,
+		N:            res.Guest.N(),
+		Host:         HostXTree,
+		HostVertices: res.Host.NumVertices(),
+		Height:       res.Host.Height(),
+		Dilation:     emb.DilationParallel(),
+		AvgDilation:  emb.AverageDilation(),
+		MaxLoad:      res.MaxLoad(),
+		Expansion:    res.Expansion(),
+		CacheHit:     bi.CacheHit,
+	}
+	if req.Injective {
+		inj, err := core.EmbedInjective(res)
+		if err != nil {
+			item.Error = err.Error()
+			return item
+		}
+		iemb := inj.Embedding()
+		item.Injective = &EmbedItem{
+			Index:        bi.Index,
+			N:            res.Guest.N(),
+			Host:         HostXTree,
+			HostVertices: inj.Host.NumVertices(),
+			Height:       inj.Host.Height(),
+			Dilation:     iemb.DilationParallel(),
+			AvgDilation:  iemb.AverageDilation(),
+			MaxLoad:      iemb.MaxLoad(),
+			Expansion:    iemb.Expansion(),
+		}
+	}
+	return item
+}
+
+// embedUniversal answers the universal host: every guest is a subgraph
+// of Theorem 4's G_n, so the placement is injective with dilation 1 by
+// construction (verified per item).
+func (s *Server) embedUniversal(ctx context.Context, trees []*bintree.Tree) ([]EmbedItem, error) {
+	items := make([]EmbedItem, len(trees))
+	for i, t := range trees {
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(err)
+		}
+		u := universal.NewForAtLeast(t.N())
+		assign, err := u.EmbedAny(t)
+		if err == nil {
+			err = u.IsSubgraph(t, assign)
+		}
+		if err != nil {
+			items[i] = EmbedItem{Index: i, Error: err.Error()}
+			continue
+		}
+		items[i] = EmbedItem{
+			Index:        i,
+			N:            t.N(),
+			Host:         HostUniversal,
+			HostVertices: int64(u.N()),
+			Dilation:     1,
+			AvgDilation:  1,
+			MaxLoad:      1,
+			Expansion:    float64(u.N()) / float64(t.N()),
+		}
+	}
+	return items, nil
+}
+
+// handleSimulate implements POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	tree, err := req.Tree.resolve(s.maxTreeNodes)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	ctx := r.Context()
+
+	// Embed through the shared engine: simulate requests of isomorphic
+	// trees reuse the cached embedding like embed requests do.
+	bi := s.engine.EmbedBatch(ctx, []*bintree.Tree{tree})[0]
+	if bi.Err != nil {
+		if errors.Is(bi.Err, context.DeadlineExceeded) || errors.Is(bi.Err, context.Canceled) {
+			writeAPIError(w, ctxError(bi.Err))
+			return
+		}
+		writeAPIError(w, badRequest("embed: %v", bi.Err))
+		return
+	}
+	res := bi.Result
+	embItem := s.embedItem(&EmbedRequest{}, bi)
+
+	place := make([]int32, tree.N())
+	for v, a := range res.Assignment {
+		place[v] = int32(a.ID())
+	}
+	cfg := netsim.Config{
+		Host:      res.Host.AsGraph(),
+		Place:     place,
+		MaxCycles: req.MaxCycles,
+		Faults:    req.Faults.plan(),
+	}
+	simRes, err := netsim.RunContext(ctx, cfg, req.workload(tree))
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeAPIError(w, ctxError(err))
+			return
+		}
+		// Bad fault coordinates, impossible cycle caps, and similar
+		// input-shaped failures: the client can fix these.
+		writeAPIError(w, badRequest("simulate: %v", err))
+		return
+	}
+	resp := SimulateResponse{Embed: embItem, Sim: simCounters(simRes)}
+
+	if req.Baseline {
+		idealCfg := netsim.Config{
+			Host:      tree.AsGraph(),
+			Place:     netsim.IdentityPlacement(tree.N()),
+			MaxCycles: req.MaxCycles,
+		}
+		ideal, err := netsim.RunContext(ctx, idealCfg, req.workload(tree))
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				writeAPIError(w, ctxError(err))
+				return
+			}
+			writeAPIError(w, badRequest("baseline: %v", err))
+			return
+		}
+		resp.IdealCycles = ideal.Cycles
+		if ideal.Cycles > 0 {
+			resp.Slowdown = float64(simRes.Cycles) / float64(ideal.Cycles)
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}

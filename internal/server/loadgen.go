@@ -1,0 +1,189 @@
+package server
+
+// loadgen.go is the closed-loop load generator behind `xtree-serve
+// -loadgen` and experiment E18: N workers fire POST /v1/embed requests
+// back-to-back against a live server and measure what a client actually
+// sees — end-to-end latency percentiles (per-worker histograms merged
+// afterwards, exercising Histogram.Merge for real), throughput, and how
+// many requests the admission layer shed.  The request mix cycles
+// through a configurable number of distinct shapes so the server-side
+// canonical-tree cache sees a realistic repeat-heavy stream.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/metrics"
+)
+
+// LoadConfig configures one load-generation run.
+type LoadConfig struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Concurrency is the closed-loop worker count (≤ 0 means 1).
+	Concurrency int
+	// Requests is the total request budget across workers (≤ 0 means
+	// 100).
+	Requests int
+	// TreeN is the guest size per request (≤ 0 means 1008) and Family
+	// the generator family ("" means random).
+	TreeN  int
+	Family string
+	// DistinctShapes is how many distinct seeds the request mix cycles
+	// through (≤ 0 means 8): small values are cache-friendly, large
+	// values defeat the cache.
+	DistinctShapes int
+	// Timeout is the per-request client timeout (≤ 0 means 30s).
+	Timeout time.Duration
+}
+
+// LoadReport summarizes one load-generation run.
+type LoadReport struct {
+	Requests           int           // requests sent
+	OK                 int           // 200 responses
+	Shed               int           // 429 responses
+	Errors             int           // transport errors and non-200/429 statuses
+	CacheHits          int           // 200 responses answered from the engine cache
+	Elapsed            time.Duration // wall time of the whole run
+	Throughput         float64       // OK responses per second
+	Latency            *metrics.Histogram
+	P50, P95, P99, Max time.Duration
+}
+
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("requests=%d ok=%d shed=%d errors=%d hits=%d elapsed=%s thpt=%.1f/s p50=%s p95=%s p99=%s max=%s",
+		r.Requests, r.OK, r.Shed, r.Errors, r.CacheHits, r.Elapsed.Round(time.Millisecond),
+		r.Throughput, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// RunLoad drives the server at cfg.BaseURL and reports what the clients
+// measured.  The request stream is deterministic given the config.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	total := cfg.Requests
+	if total <= 0 {
+		total = 100
+	}
+	treeN := cfg.TreeN
+	if treeN <= 0 {
+		treeN = 1008
+	}
+	family := cfg.Family
+	if family == "" {
+		family = string(bintree.FamilyRandom)
+	}
+	shapes := cfg.DistinctShapes
+	if shapes <= 0 {
+		shapes = 8
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if _, ok := familyByName(family); !ok {
+		return nil, fmt.Errorf("loadgen: unknown family %q", family)
+	}
+
+	// Pre-encode the request bodies: the generator must not spend its
+	// own time budget building JSON inside the measured loop.
+	bodies := make([][]byte, shapes)
+	for i := range bodies {
+		body, err := json.Marshal(EmbedRequest{
+			Tree: &TreeSpec{Family: family, N: treeN, Seed: int64(i + 1)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: conc,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	var next atomic.Int64
+	var ok, shed, errs, hits atomic.Int64
+	hists := make([]*metrics.Histogram, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		hists[w] = metrics.NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				body := bodies[rng.Intn(shapes)]
+				t0 := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/v1/embed", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var er EmbedResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&er)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				hists[w].Observe(time.Since(t0).Seconds())
+				switch {
+				case resp.StatusCode == http.StatusOK && decErr == nil:
+					ok.Add(1)
+					if len(er.Items) == 1 && er.Items[0].CacheHit {
+						hits.Add(1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := hists[0]
+	for _, h := range hists[1:] {
+		if err := merged.Merge(h); err != nil {
+			return nil, err
+		}
+	}
+	sum := merged.Summary()
+	rep := &LoadReport{
+		Requests:  total,
+		OK:        int(ok.Load()),
+		Shed:      int(shed.Load()),
+		Errors:    int(errs.Load()),
+		CacheHits: int(hits.Load()),
+		Elapsed:   elapsed,
+		Latency:   merged,
+		P50:       time.Duration(sum.P50 * float64(time.Second)),
+		P95:       time.Duration(sum.P95 * float64(time.Second)),
+		P99:       time.Duration(sum.P99 * float64(time.Second)),
+		Max:       time.Duration(sum.Max * float64(time.Second)),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+package server
+
+// promtext.go exports the server's counters in the Prometheus text
+// exposition format, hand-rendered over the stdlib — no client library,
+// per the subsystem's stdlib-only constraint.  Everything a dashboard
+// needs to see the serving story is here: per-route/per-code request
+// counts, the request-latency histogram with interpolated p50/p95/p99,
+// the in-flight and queue gauges, the shed counter, and the shared
+// engine's own counters (cache hit rate, utilization, queue wait).
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xtreesim/internal/metrics"
+)
+
+// serverMetrics is the mutable metric state shared by every route.
+type serverMetrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]int64
+
+	latency *metrics.Histogram // request duration, seconds
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests: make(map[routeCode]int64),
+		latency:  metrics.NewLatencyHistogram(),
+	}
+}
+
+func (m *serverMetrics) record(route string, status int, dur time.Duration) {
+	if status == 0 {
+		status = http.StatusOK
+	}
+	m.mu.Lock()
+	m.requests[routeCode{route, status}]++
+	m.mu.Unlock()
+	m.latency.Observe(dur.Seconds())
+}
+
+// snapshotRequests copies the counter map in route+code order.
+func (m *serverMetrics) snapshotRequests() []requestCount {
+	m.mu.Lock()
+	out := make([]requestCount, 0, len(m.requests))
+	for rc, n := range m.requests {
+		out = append(out, requestCount{rc.route, rc.code, n})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].route != out[j].route {
+			return out[i].route < out[j].route
+		}
+		return out[i].code < out[j].code
+	})
+	return out
+}
+
+type requestCount struct {
+	route string
+	code  int
+	count int64
+}
+
+// handleMetrics renders GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "/metrics accepts GET only")
+		return
+	}
+	var b strings.Builder
+
+	writeHelp(&b, "xtreesim_http_requests_total", "counter", "HTTP requests served, by route and status code.")
+	for _, rc := range s.metrics.snapshotRequests() {
+		fmt.Fprintf(&b, "xtreesim_http_requests_total{route=%q,code=\"%d\"} %d\n", rc.route, rc.code, rc.count)
+	}
+
+	writeHelp(&b, "xtreesim_http_in_flight", "gauge", "API requests currently holding an admission slot.")
+	fmt.Fprintf(&b, "xtreesim_http_in_flight %d\n", s.admit.inFlight())
+
+	writeHelp(&b, "xtreesim_http_admission_queue", "gauge", "API requests waiting for an admission slot.")
+	fmt.Fprintf(&b, "xtreesim_http_admission_queue %d\n", s.admit.queueLen())
+
+	writeHelp(&b, "xtreesim_http_shed_total", "counter", "API requests rejected with 429 because the admission queue was full.")
+	fmt.Fprintf(&b, "xtreesim_http_shed_total %d\n", s.admit.shedTotal())
+
+	writeHelp(&b, "xtreesim_http_request_duration_seconds", "histogram", "Request latency over all routes.")
+	for _, bk := range s.metrics.latency.Buckets() {
+		le := "+Inf"
+		if !math.IsInf(bk.Le, 1) {
+			le = formatFloat(bk.Le)
+		}
+		fmt.Fprintf(&b, "xtreesim_http_request_duration_seconds_bucket{le=%q} %d\n", le, bk.Count)
+	}
+	sum := s.metrics.latency.Summary()
+	fmt.Fprintf(&b, "xtreesim_http_request_duration_seconds_sum %s\n", formatFloat(sum.Sum))
+	fmt.Fprintf(&b, "xtreesim_http_request_duration_seconds_count %d\n", sum.Count)
+
+	writeHelp(&b, "xtreesim_http_request_duration_quantile_seconds", "gauge", "Interpolated latency quantiles (p50/p95/p99).")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", sum.P50}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
+		fmt.Fprintf(&b, "xtreesim_http_request_duration_quantile_seconds{quantile=%q} %s\n", q.label, formatFloat(q.v))
+	}
+
+	es := s.engine.Stats()
+	writeHelp(&b, "xtreesim_engine_cache_hits_total", "counter", "Batch-engine canonical-tree cache hits.")
+	fmt.Fprintf(&b, "xtreesim_engine_cache_hits_total %d\n", es.Hits)
+	writeHelp(&b, "xtreesim_engine_cache_misses_total", "counter", "Batch-engine cache misses (full embeddings run).")
+	fmt.Fprintf(&b, "xtreesim_engine_cache_misses_total %d\n", es.Misses)
+	writeHelp(&b, "xtreesim_engine_cache_entries", "gauge", "Embeddings currently cached.")
+	fmt.Fprintf(&b, "xtreesim_engine_cache_entries %d\n", es.CacheLen)
+	writeHelp(&b, "xtreesim_engine_jobs_submitted_total", "counter", "Jobs accepted by the engine.")
+	fmt.Fprintf(&b, "xtreesim_engine_jobs_submitted_total %d\n", es.Submitted)
+	writeHelp(&b, "xtreesim_engine_jobs_completed_total", "counter", "Jobs finished by the engine, including errors.")
+	fmt.Fprintf(&b, "xtreesim_engine_jobs_completed_total %d\n", es.Completed)
+	writeHelp(&b, "xtreesim_engine_jobs_errored_total", "counter", "Jobs finished with an error.")
+	fmt.Fprintf(&b, "xtreesim_engine_jobs_errored_total %d\n", es.Errors)
+	writeHelp(&b, "xtreesim_engine_in_flight", "gauge", "Jobs on an engine worker right now.")
+	fmt.Fprintf(&b, "xtreesim_engine_in_flight %d\n", es.InFlight)
+	writeHelp(&b, "xtreesim_engine_workers", "gauge", "Engine worker count.")
+	fmt.Fprintf(&b, "xtreesim_engine_workers %d\n", es.Workers)
+	writeHelp(&b, "xtreesim_engine_utilization", "gauge", "Fraction of worker-seconds spent embedding since start.")
+	fmt.Fprintf(&b, "xtreesim_engine_utilization %s\n", formatFloat(es.Utilization()))
+	writeHelp(&b, "xtreesim_engine_avg_queue_wait_seconds", "gauge", "Mean time a completed job waited for a worker.")
+	fmt.Fprintf(&b, "xtreesim_engine_avg_queue_wait_seconds %s\n", formatFloat(es.AvgQueueWait().Seconds()))
+
+	writeHelp(&b, "xtreesim_uptime_seconds", "gauge", "Seconds since the server started.")
+	fmt.Fprintf(&b, "xtreesim_uptime_seconds %s\n", formatFloat(time.Since(s.started).Seconds()))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write([]byte(b.String()))
+	}
+}
+
+func writeHelp(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatFloat renders a metric value the way Prometheus parsers expect:
+// plain decimal, no exponent for the common magnitudes.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

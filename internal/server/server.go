@@ -1,0 +1,303 @@
+// Package server is the embedding-as-a-service subsystem: a stdlib-only
+// HTTP front end over the batch engine (internal/engine) and the network
+// simulator (internal/netsim).  The library's one-shot calls become a
+// long-running process with the production behaviors the ROADMAP's
+// "heavy traffic" goal demands:
+//
+//   - a bounded admission queue with load shedding — overload answers
+//     429 + Retry-After at the door instead of queueing without bound;
+//   - per-request deadlines propagated as context.Context into the
+//     engine and the simulator, both of which poll it;
+//   - request-size limits and input validation mapped to structured 4xx
+//     errors ({"error":{"code":...,"message":...}});
+//   - panic recovery, structured access logging, and a Prometheus text
+//     /metrics endpoint (latency histogram with p50/p95/p99, per-route
+//     counters, shed counter, engine cache/utilization counters);
+//   - graceful shutdown: stop accepting, drain in-flight requests, then
+//     close the engine.
+//
+// All embedding requests share one engine, so concurrent clients asking
+// for isomorphic guests — the common case in tree-shaped workloads — hit
+// the canonical-tree cache instead of re-running algorithm X-TREE.
+//
+// Routes:
+//
+//	POST /v1/embed     embed one tree or a batch (host: xtree/hypercube/universal)
+//	POST /v1/simulate  embed + run a workload on the simulated X-tree machine
+//	GET  /healthz      liveness + uptime
+//	GET  /metrics      Prometheus text exposition
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"xtreesim/internal/engine"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultRequestTimeout = 15 * time.Second
+	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB of JSON is ~a 25k-node encoded tree batch
+	DefaultMaxBatch       = 64
+	DefaultMaxTreeNodes   = 1 << 17
+)
+
+// Config configures a Server.  The zero value listens on 127.0.0.1:0
+// with one admission slot per CPU, a 4×-slots wait queue, and the
+// defaults above.
+type Config struct {
+	// Addr is the listen address; "" means 127.0.0.1:0 (an ephemeral
+	// port, read back with Addr after Start).
+	Addr string
+
+	// Engine, when non-nil, is a caller-owned engine the server uses
+	// without closing.  When nil the server creates one from
+	// EngineConfig and closes it on Shutdown.
+	Engine       *engine.Engine
+	EngineConfig engine.Config
+
+	// MaxConcurrent bounds the API requests processed at once (≤ 0
+	// means GOMAXPROCS).  MaxQueue bounds the requests waiting for a
+	// slot (< 0 means 4×MaxConcurrent, 0 means shed whenever every
+	// slot is busy).
+	MaxConcurrent int
+	MaxQueue      int
+
+	// RequestTimeout is the per-request deadline (≤ 0 means
+	// DefaultRequestTimeout).  It propagates as a context into the
+	// engine and the simulator.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (≤ 0 means DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxBatch caps trees per embed request (≤ 0 means DefaultMaxBatch).
+	MaxBatch int
+	// MaxTreeNodes caps nodes per guest tree (≤ 0 means
+	// DefaultMaxTreeNodes).
+	MaxTreeNodes int
+
+	// Logger receives access and error logs; nil means stderr.
+	// AccessLog enables the per-request log line.
+	Logger    *log.Logger
+	AccessLog bool
+
+	// Version is reported by /healthz (e.g. from buildinfo.Version).
+	Version string
+}
+
+// Server is one serving process.  Create with New, boot with Start, stop
+// with Shutdown.
+type Server struct {
+	engine     *engine.Engine
+	ownsEngine bool
+	admit      *admission
+	metrics    *serverMetrics
+	logger     *log.Logger
+	accessLog  bool
+	version    string
+
+	requestTimeout time.Duration
+	maxBodyBytes   int64
+	maxBatch       int
+	maxTreeNodes   int
+
+	httpServer *http.Server
+	listener   net.Listener
+	started    time.Time
+
+	mu       sync.Mutex
+	running  bool
+	draining bool
+	serveErr chan error
+}
+
+// New builds a Server from the config.  It does not listen yet.
+func New(cfg Config) *Server {
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = runtime.GOMAXPROCS(0)
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue < 0 {
+		maxQueue = 4 * maxConc
+	}
+	eng := cfg.Engine
+	owns := false
+	if eng == nil {
+		eng = engine.New(cfg.EngineConfig)
+		owns = true
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(os.Stderr, "xtree-serve ", log.LstdFlags|log.Lmsgprefix)
+	}
+	s := &Server{
+		engine:         eng,
+		ownsEngine:     owns,
+		admit:          newAdmission(maxConc, maxQueue),
+		metrics:        newServerMetrics(),
+		logger:         logger,
+		accessLog:      cfg.AccessLog,
+		version:        cfg.Version,
+		requestTimeout: cfg.RequestTimeout,
+		maxBodyBytes:   cfg.MaxBodyBytes,
+		maxBatch:       cfg.MaxBatch,
+		maxTreeNodes:   cfg.MaxTreeNodes,
+		started:        time.Now(),
+		serveErr:       make(chan error, 1),
+	}
+	if s.requestTimeout <= 0 {
+		s.requestTimeout = DefaultRequestTimeout
+	}
+	if s.maxBodyBytes <= 0 {
+		s.maxBodyBytes = DefaultMaxBodyBytes
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if s.maxTreeNodes <= 0 {
+		s.maxTreeNodes = DefaultMaxTreeNodes
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	s.httpServer = &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          logger,
+	}
+	return s
+}
+
+// Handler returns the full route tree, usable directly with httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/embed", s.guarded("/v1/embed", s.handleEmbed))
+	mux.Handle("/v1/simulate", s.guarded("/v1/simulate", s.handleSimulate))
+	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such route (have /v1/embed, /v1/simulate, /healthz, /metrics)")
+	}))
+	return mux
+}
+
+// Start listens on the configured address and serves in the background.
+// After Start, Addr reports the bound address.  Serve errors surface
+// from Shutdown.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return fmt.Errorf("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.httpServer.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.httpServer.Addr, err)
+	}
+	s.listener = ln
+	s.running = true
+	go func() {
+		err := s.httpServer.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.serveErr <- err
+	}()
+	return nil
+}
+
+// Addr returns the bound address ("127.0.0.1:41893") after Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// URL returns "http://<addr>" after Start.
+func (s *Server) URL() string {
+	a := s.Addr()
+	if a == "" {
+		return ""
+	}
+	return "http://" + a
+}
+
+// Shutdown drains the server: it stops accepting connections, waits for
+// every in-flight request to finish (bounded by ctx), and then closes
+// the engine if the server owns it.  Safe to call once after Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return nil
+	}
+	s.running = false
+	s.draining = true
+	s.mu.Unlock()
+
+	err := s.httpServer.Shutdown(ctx)
+	serveErr := <-s.serveErr
+	if s.ownsEngine {
+		s.engine.Close()
+		// The server never streams from Results, but drain defensively
+		// so engine workers can never block on delivery.
+		for range s.engine.Results() {
+		}
+	}
+	if err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// handleHealthz renders GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "/healthz accepts GET only")
+		return
+	}
+	status := "ok"
+	s.mu.Lock()
+	if s.draining {
+		status = "shutting_down"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Version:       s.version,
+	})
+}
+
+// requestContext derives the per-request deadline context.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.requestTimeout)
+}
+
+// retryAfter hints how long a shed client should back off: the request
+// timeout is the worst-case slot-hold time, rounded up to whole seconds.
+func (s *Server) retryAfter() string {
+	secs := int(s.requestTimeout.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// Stats exposes the engine counters (for the load generator's report).
+func (s *Server) Stats() engine.Stats { return s.engine.Stats() }

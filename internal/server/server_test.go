@@ -1,0 +1,657 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/engine"
+)
+
+// newTestServer builds a Server (not listening) with tight limits and
+// returns it with an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if s.ownsEngine {
+			s.engine.Close()
+			for range s.engine.Results() {
+			}
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeEmbed(t *testing.T, data []byte) EmbedResponse {
+	t.Helper()
+	var er EmbedResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	return er
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Version: "test-1"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Version != "test-1" {
+		t.Errorf("healthz %+v", hr)
+	}
+}
+
+func TestEmbedSingleTreeTheorem1Bounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "random", N: 1008, Seed: 42},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	er := decodeEmbed(t, data)
+	if len(er.Items) != 1 {
+		t.Fatalf("items %d", len(er.Items))
+	}
+	it := er.Items[0]
+	if it.Error != "" {
+		t.Fatalf("item error: %s", it.Error)
+	}
+	if it.Dilation > 3 || it.MaxLoad > 16 {
+		t.Errorf("Theorem 1 bounds violated over the wire: dilation=%d load=%d", it.Dilation, it.MaxLoad)
+	}
+	if it.Host != HostXTree || it.N != 1008 || it.HostVertices == 0 {
+		t.Errorf("item %+v", it)
+	}
+}
+
+func TestEmbedBatchCacheHitsAndEncodedTrees(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Same shape twice by family+seed, plus one explicit encoding.
+	enc := bintree.CompleteN(63).Encode()
+	req := EmbedRequest{Trees: []TreeSpec{
+		{Family: "complete", N: 255, Seed: 1},
+		{Family: "complete", N: 255, Seed: 9},
+		{Encoded: enc},
+	}}
+	resp, data := postJSON(t, ts.URL+"/v1/embed", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	er := decodeEmbed(t, data)
+	if len(er.Items) != 3 {
+		t.Fatalf("items %d", len(er.Items))
+	}
+	for _, it := range er.Items {
+		if it.Error != "" {
+			t.Fatalf("item %d error: %s", it.Index, it.Error)
+		}
+	}
+	// The two complete-255 trees are isomorphic: the second must hit.
+	if !er.Items[0].CacheHit && !er.Items[1].CacheHit {
+		t.Error("no cache hit across isomorphic batch items")
+	}
+	if er.Items[2].N != 63 {
+		t.Errorf("encoded tree resolved to n=%d", er.Items[2].N)
+	}
+}
+
+func TestEmbedHostsHypercubeUniversalInjective(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "random", N: 496, Seed: 3}, Host: HostHypercube,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("hypercube status %d: %s", resp.StatusCode, data)
+	}
+	hc := decodeEmbed(t, data).Items[0]
+	if hc.Host != HostHypercube || hc.Dilation > 4 || hc.MaxLoad > 16 {
+		t.Errorf("hypercube item %+v", hc)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "random", N: 300, Seed: 3}, Host: HostUniversal,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("universal status %d: %s", resp.StatusCode, data)
+	}
+	un := decodeEmbed(t, data).Items[0]
+	if un.Host != HostUniversal || un.Dilation != 1 || un.MaxLoad != 1 || un.HostVertices < 300 {
+		t.Errorf("universal item %+v", un)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "zigzag", N: 240, Seed: 1}, Injective: true,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("injective status %d: %s", resp.StatusCode, data)
+	}
+	inj := decodeEmbed(t, data).Items[0]
+	if inj.Injective == nil {
+		t.Fatal("no injective derivation in response")
+	}
+	if inj.Injective.Dilation > 11 || inj.Injective.MaxLoad != 1 {
+		t.Errorf("Theorem 2 bounds violated over the wire: %+v", inj.Injective)
+	}
+}
+
+func TestEmbedWithHeightBypassesEngine(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "path", N: 100, Seed: 1}, Height: 8,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	it := decodeEmbed(t, data).Items[0]
+	if it.Height != 8 {
+		t.Errorf("forced height not honored: %+v", it)
+	}
+	if st := s.Stats(); st.Submitted != 0 {
+		t.Errorf("non-default options leaked into the shared engine (submitted=%d)", st.Submitted)
+	}
+}
+
+func TestEmbedValidation4xx(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2, MaxTreeNodes: 1000})
+	cases := []struct {
+		name string
+		body string
+		want int
+		code string
+	}{
+		{"bad json", `{`, 400, CodeInvalidRequest},
+		{"unknown field", `{"treez": {}}`, 400, CodeInvalidRequest},
+		{"no tree", `{}`, 400, CodeInvalidRequest},
+		{"both tree and trees", `{"tree":{"family":"path","n":3},"trees":[{"family":"path","n":3}]}`, 400, CodeInvalidRequest},
+		{"unknown family", `{"tree":{"family":"bamboo","n":3}}`, 400, CodeInvalidRequest},
+		{"unknown host", `{"tree":{"family":"path","n":3},"host":"torus"}`, 400, CodeInvalidRequest},
+		{"strict on hypercube", `{"tree":{"family":"path","n":3},"host":"hypercube","strict":true}`, 400, CodeInvalidRequest},
+		{"batch too large", `{"trees":[{"family":"path","n":3},{"family":"path","n":3},{"family":"path","n":3}]}`, 400, CodeInvalidRequest},
+		{"tree too large", `{"tree":{"family":"path","n":5000}}`, 400, CodeInvalidRequest},
+		{"bad encoding", `{"tree":{"encoded":"((("}}`, 400, CodeInvalidRequest},
+		{"encoded and family", `{"tree":{"encoded":"(..)","family":"path","n":3}}`, 400, CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/embed", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, data)
+			}
+			var eb ErrorBody
+			if err := json.Unmarshal(data, &eb); err != nil {
+				t.Fatalf("error body not structured: %s", data)
+			}
+			if eb.Error.Code != tc.code {
+				t.Errorf("code %q, want %q (%s)", eb.Error.Code, tc.code, eb.Error.Message)
+			}
+		})
+	}
+}
+
+func TestEmbedMethodNotAllowedAndNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/embed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/embed status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope status %d", resp.StatusCode)
+	}
+}
+
+func TestEmbedBodyTooLarge413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := EmbedRequest{Tree: &TreeSpec{Encoded: bintree.CompleteN(255).Encode()}}
+	resp, data := postJSON(t, ts.URL+"/v1/embed", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code != CodePayloadTooLarge {
+		t.Errorf("413 body: %s", data)
+	}
+}
+
+func TestSimulateWithBaselineAndFaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Tree:     &TreeSpec{Family: "complete", N: 255, Seed: 1},
+		Workload: WorkloadDivideConquer,
+		Waves:    1,
+		Baseline: true,
+		Faults:   &FaultSpec{Seed: 4, DropProb: 0.05, MaxRetries: 20},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Embed.Dilation > 3 || sr.Embed.MaxLoad > 16 {
+		t.Errorf("embed part %+v", sr.Embed)
+	}
+	if sr.Sim.Cycles == 0 || sr.Sim.Delivered == 0 {
+		t.Errorf("sim part %+v", sr.Sim)
+	}
+	if sr.Sim.Drops == 0 || sr.Sim.Retransmits == 0 {
+		t.Errorf("fault plan injected nothing: %+v", sr.Sim)
+	}
+	if sr.IdealCycles == 0 || sr.Slowdown <= 0 {
+		t.Errorf("baseline not reported: ideal=%d slowdown=%v", sr.IdealCycles, sr.Slowdown)
+	}
+	// Determinism over the wire: the same request gives the same counters.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Tree:     &TreeSpec{Family: "complete", N: 255, Seed: 1},
+		Workload: WorkloadDivideConquer,
+		Waves:    1,
+		Baseline: true,
+		Faults:   &FaultSpec{Seed: 4, DropProb: 0.05, MaxRetries: 20},
+	})
+	if resp2.StatusCode != 200 {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	var sr2 SimulateResponse
+	if err := json.Unmarshal(data2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Sim != sr.Sim {
+		t.Errorf("simulate not deterministic: %+v vs %+v", sr.Sim, sr2.Sim)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"no workload":      `{"tree":{"family":"path","n":15}}`,
+		"unknown workload": `{"tree":{"family":"path","n":15},"workload":"sort"}`,
+		"bad drop prob":    `{"tree":{"family":"path","n":15},"workload":"broadcast","faults":{"drop_prob":2}}`,
+		"bad link kill":    `{"tree":{"family":"path","n":15},"workload":"broadcast","faults":{"link_kills":[{"u":0,"v":9999,"cycle":1}]}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 400 {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+			}
+		})
+	}
+}
+
+func TestSimulateScanWorkloadCompletes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Tree:     &TreeSpec{Family: "random", N: 240, Seed: 5},
+		Workload: WorkloadScan,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Sim.Delivered == 0 {
+		t.Errorf("scan delivered nothing: %+v", sr.Sim)
+	}
+}
+
+func TestDeadlineExceededMapsTo504(t *testing.T) {
+	// A 1ns request timeout fires before the handler can embed.
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	resp, data := postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "random", N: 1008, Seed: 1},
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("504 body: %s", data)
+	}
+}
+
+// TestAdmissionShedding drives the admission controller directly: slot
+// taken, queue slot taken, third caller shed; cancellation while queued
+// returns the context error rather than shed.
+func TestAdmissionShedding(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Queue slot: a second acquire waits; run it in a goroutine.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- a.acquire(context.Background())
+	}()
+	// Wait until it is actually queued.
+	for a.queueLen() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Third acquire: queue full → shed.
+	if err := a.acquire(context.Background()); err != errShed {
+		t.Fatalf("third acquire: %v, want errShed", err)
+	}
+	if a.shedTotal() != 1 {
+		t.Errorf("shed counter %d", a.shedTotal())
+	}
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release()
+
+	// Context cancellation while queued returns the ctx error, not shed.
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx) }()
+	for a.queueLen() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Errorf("cancelled queued acquire: %v", err)
+	}
+	a.release()
+}
+
+// TestAdmissionSheddingHTTP drives the full HTTP path: with one slot, no
+// queue, and a flood of concurrent requests, at least one is shed with
+// 429 + Retry-After while at least one succeeds.
+func TestAdmissionSheddingHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 0})
+	const flood = 12
+	raw, _ := json.Marshal(EmbedRequest{Tree: &TreeSpec{Family: "random", N: 8000, Seed: 7}})
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	out := make(chan outcome, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/embed", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				out <- outcome{status: -1}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			out <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	var oks, sheds int
+	for o := range out {
+		switch o.status {
+		case 200:
+			oks++
+		case 429:
+			sheds++
+			if o.retryAfter == "" {
+				t.Error("429 without Retry-After")
+			}
+		case -1:
+			t.Error("transport error")
+		default:
+			t.Errorf("unexpected status %d", o.status)
+		}
+	}
+	if oks == 0 || sheds == 0 {
+		t.Errorf("flood outcome ok=%d shed=%d; want both > 0", oks, sheds)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Generate some traffic first.
+	postJSON(t, ts.URL+"/v1/embed", EmbedRequest{Tree: &TreeSpec{Family: "random", N: 496, Seed: 1}})
+	postJSON(t, ts.URL+"/v1/embed", EmbedRequest{Tree: &TreeSpec{Family: "random", N: 496, Seed: 1}})
+	http.Post(ts.URL+"/v1/embed", "application/json", strings.NewReader("{"))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`xtreesim_http_requests_total{route="/v1/embed",code="200"} 2`,
+		`xtreesim_http_requests_total{route="/v1/embed",code="400"} 1`,
+		"xtreesim_http_in_flight 0",
+		"xtreesim_http_shed_total 0",
+		"xtreesim_http_request_duration_seconds_bucket",
+		"xtreesim_http_request_duration_seconds_count",
+		`xtreesim_http_request_duration_quantile_seconds{quantile="0.99"}`,
+		"xtreesim_engine_cache_hits_total 1",
+		"xtreesim_engine_cache_misses_total 1",
+		"xtreesim_engine_workers",
+		"xtreesim_engine_utilization",
+		"xtreesim_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Well-formedness: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed metric line %q", line)
+		}
+	}
+}
+
+// TestGracefulShutdownDrains starts a real listener, launches in-flight
+// requests, shuts down mid-flight, and requires every admitted request
+// to complete with 200 — the zero-dropped-requests guarantee.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(Config{MaxConcurrent: 4, MaxQueue: 16})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	url := s.URL()
+	const n = 8
+	raw, _ := json.Marshal(EmbedRequest{Tree: &TreeSpec{Family: "random", N: 4000, Seed: 3}})
+	statuses := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(url+"/v1/embed", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Give the flood a moment to be accepted, then shut down under it.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	close(statuses)
+	for st := range statuses {
+		if st != 200 {
+			t.Errorf("in-flight request finished with %d during graceful shutdown", st)
+		}
+	}
+	// Post-shutdown: the engine is closed; submits fail cleanly.
+	if _, err := s.engine.Submit(context.Background(), bintree.Path(3)); err != engine.ErrClosed {
+		t.Errorf("engine after shutdown: %v, want ErrClosed", err)
+	}
+	// Second shutdown is a no-op.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("double shutdown: %v", err)
+	}
+}
+
+func TestSharedEngineAcrossServers(t *testing.T) {
+	// A caller-owned engine is used but not closed by Shutdown.
+	eng := engine.New(engine.Config{Workers: 2})
+	defer func() {
+		eng.Close()
+		for range eng.Results() {
+		}
+	}()
+	s := New(Config{Engine: eng})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, data := postJSON(t, ts.URL+"/v1/embed", EmbedRequest{Tree: &TreeSpec{Family: "path", N: 31, Seed: 1}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Engine still alive after server shutdown.
+	if _, err := eng.Submit(context.Background(), bintree.Path(3)); err != nil {
+		t.Errorf("caller-owned engine closed by server shutdown: %v", err)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := New(Config{Logger: log.New(io.Discard, "", 0)})
+	defer func() {
+		s.engine.Close()
+		for range s.engine.Results() {
+		}
+	}()
+	h := s.instrument("boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic produced status %d", rec.Code)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code != CodeInternal {
+		t.Errorf("panic body: %s", rec.Body.String())
+	}
+}
+
+func TestLoadGen(t *testing.T) {
+	s := New(Config{MaxConcurrent: 4, MaxQueue: 64})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:        s.URL(),
+		Concurrency:    4,
+		Requests:       40,
+		TreeN:          496,
+		DistinctShapes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 40 || rep.Errors != 0 {
+		t.Fatalf("load report %s", rep)
+	}
+	if rep.Latency.Count() != 40 {
+		t.Errorf("histogram count %d", rep.Latency.Count())
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Errorf("percentiles out of order: %s", rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput %v", rep.Throughput)
+	}
+	// 4 shapes × 40 requests: the cache must have answered most.
+	if rep.CacheHits < 30 {
+		t.Errorf("cache hits %d of 40; want ≥ 30", rep.CacheHits)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestLoadGenValidation(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{BaseURL: "http://127.0.0.1:1", Family: "bamboo"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
