@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench
+.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench
 
 all: vet test
 
@@ -73,6 +73,18 @@ serve:
 # shutdown that drains every in-flight request.
 serve-smoke:
 	$(GO) run ./cmd/xtree-serve -smoke
+
+# The tracing acceptance gate (also the CI trace job): boots a fully
+# sampled server, fires one /v1/simulate request, and validates the
+# /debug/trace JSONL export — one trace ID from the X-Trace-Id response
+# header covering the server root, engine phases, separator spans with
+# depth attributes, and simulator hops nested under the simulate span.
+trace-smoke:
+	$(GO) run ./cmd/xtree-serve -trace-smoke
+
+# E19 only: traced phase breakdown (separator vs host-build vs simulate).
+phase-bench:
+	$(GO) run ./cmd/xtree-bench -exp e19
 
 # E18 only: serving latency/throughput sweep; writes BENCH_serve.json.
 serve-bench:

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	xtree-serve -addr :8080                 # serve until SIGINT/SIGTERM
+//	xtree-serve -pprof -trace-sample 0.1    # serve with observability on
 //	xtree-serve -loadgen -url http://host:8080 -c 16 -n 2000
 //	xtree-serve -smoke                      # self-check: boot, drive, verify, exit
+//	xtree-serve -trace-smoke                # tracing self-check: one traced request, validated export
 //	xtree-serve -version
 //
 // Serving flags tune the production knobs: -workers and -cache size the
 // engine, -max-concurrent and -queue bound admission, -timeout is the
 // per-request deadline, -max-body/-max-batch/-max-tree cap inputs.
+// Observability: -trace-sample samples that fraction of requests into
+// /debug/trace (clients sending X-Trace-Id are always traced), -pprof
+// exposes /debug/pprof/.
 package main
 
 import (
@@ -43,14 +48,19 @@ func main() {
 		maxTree       = flag.Int("max-tree", server.DefaultMaxTreeNodes, "max nodes per guest tree")
 		quiet         = flag.Bool("quiet", false, "disable per-request access logging")
 
-		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
-		url      = flag.String("url", "", "loadgen: target base URL (default: boot an in-process server)")
-		conc     = flag.Int("c", 8, "loadgen: concurrent workers")
-		requests = flag.Int("n", 500, "loadgen: total requests")
-		treeN    = flag.Int("tree-n", 1008, "loadgen: guest tree size")
-		shapes   = flag.Int("shapes", 8, "loadgen: distinct tree shapes in the mix")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced into /debug/trace (0 = off, 1 = all)")
+		enablePprof = flag.Bool("pprof", false, "expose /debug/pprof/ profile endpoints")
+
+		loadgen   = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		url       = flag.String("url", "", "loadgen: target base URL (default: boot an in-process server)")
+		conc      = flag.Int("c", 8, "loadgen: concurrent workers")
+		requests  = flag.Int("n", 500, "loadgen: total requests")
+		treeN     = flag.Int("tree-n", 1008, "loadgen: guest tree size")
+		shapes    = flag.Int("shapes", 8, "loadgen: distinct tree shapes in the mix")
+		tagTraces = flag.Bool("trace", false, "loadgen: tag every request with its own X-Trace-Id")
 
 		smoke      = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
+		traceSmoke = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
 		verFlag    = flag.Bool("version", false, "print build info and exit")
 		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
@@ -65,8 +75,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("serve-smoke: PASS")
+	case *traceSmoke:
+		if err := runTraceSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("trace-smoke: PASS")
 	case *loadgen:
-		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes); err != nil {
+		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -81,6 +97,8 @@ func main() {
 			MaxBatch:       *maxBatch,
 			MaxTreeNodes:   *maxTree,
 			AccessLog:      !*quiet,
+			TraceSample:    *traceSample,
+			EnablePprof:    *enablePprof,
 			Version:        buildinfo.Version(),
 		}
 		if err := serve(cfg, *drainGrace); err != nil {
@@ -116,7 +134,7 @@ func serve(cfg server.Config, grace time.Duration) error {
 // runLoadgen drives url (or a freshly booted local server when url is
 // empty) and prints the client-side report plus the server's engine
 // counters when it owns the server.
-func runLoadgen(url string, conc, requests, treeN, shapes int) error {
+func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool) error {
 	var s *server.Server
 	if url == "" {
 		s = server.New(server.Config{})
@@ -137,6 +155,7 @@ func runLoadgen(url string, conc, requests, treeN, shapes int) error {
 		Requests:       requests,
 		TreeN:          treeN,
 		DistinctShapes: shapes,
+		Trace:          tagTraces,
 	})
 	if err != nil {
 		return err

@@ -28,11 +28,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/bitstr"
 	"xtreesim/internal/metrics"
+	"xtreesim/internal/trace"
 	"xtreesim/internal/xtree"
 )
 
@@ -57,6 +59,11 @@ type Options struct {
 	// DisableLeveling ablates SPLIT's final lemma-2 cut across the new
 	// horizontal edge (the "4 free places" step of the paper).
 	DisableLeveling bool
+	// Tracer, when non-nil, opens a root span per EmbedXTree call that
+	// arrives without one on its context (the facade WithTracing path).
+	// Calls that already carry a span — e.g. from the engine — record
+	// their phase spans under it and ignore this field.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns the options used by the theorem statements.
@@ -105,6 +112,15 @@ func Capacity(r int) int64 { return 16 * (int64(1)<<(uint(r)+1) - 1) }
 
 // EmbedXTree runs algorithm X-TREE on the guest tree.
 func EmbedXTree(t *bintree.Tree, opts Options) (*Result, error) {
+	return EmbedXTreeContext(context.Background(), t, opts)
+}
+
+// EmbedXTreeContext is EmbedXTree with span tracing: when ctx carries a
+// sampled trace span (or Options.Tracer starts one), the construction
+// records its phases — host build, every Lemma 2 separator call with
+// depth and slack, per-round ADJUST+SPLIT, the final redistribution —
+// as child spans.  Without a span the calls cost nil checks only.
+func EmbedXTreeContext(ctx context.Context, t *bintree.Tree, opts Options) (*Result, error) {
 	n := t.N()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty guest tree")
@@ -116,7 +132,20 @@ func EmbedXTree(t *bintree.Tree, opts Options) (*Result, error) {
 	if Capacity(r) < int64(n) {
 		return nil, fmt.Errorf("core: X(%d) capacity %d < guest size %d", r, Capacity(r), n)
 	}
-	e := newEmbedder(t, r, opts)
+	span := trace.FromContext(ctx)
+	var root *trace.Span
+	if span == nil && opts.Tracer != nil {
+		_, root = opts.Tracer.Root(ctx, "embed")
+		span = root
+	}
+	if root != nil {
+		defer root.End()
+	}
+	hb := span.Child("embed.host-build")
+	x := xtree.New(r)
+	hb.SetAttr("height", int64(r)).SetAttr("vertices", x.NumVertices()).End()
+	e := newEmbedder(t, x, r, opts)
+	e.span = span
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -127,6 +156,7 @@ func EmbedXTree(t *bintree.Tree, opts Options) (*Result, error) {
 		Stats:      e.stats,
 	}
 	res.Stats.MaxLoad = e.maxLoad()
+	span.SetAttr("n", int64(n))
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"xtreesim/internal/bitstr"
 	"xtreesim/internal/hypercube"
 	"xtreesim/internal/metrics"
+	"xtreesim/internal/trace"
 	"xtreesim/internal/xtree"
 )
 
@@ -25,6 +27,25 @@ type InjectiveResult struct {
 // Since δ(u) and δ(u)∘μ are joined by a 4-edge downward path, dilation(χ)
 // ≤ dilation(δ) + 8 — with dilation 3 this gives 11.
 func EmbedInjective(res *Result) (*InjectiveResult, error) {
+	return EmbedInjectiveContext(context.Background(), res)
+}
+
+// EmbedInjectiveContext is EmbedInjective under the context's trace
+// span: the relocation — regrouping the co-located guests and handing
+// them distinct 4-bit suffixes — records as one "embed.injective" span.
+func EmbedInjectiveContext(ctx context.Context, res *Result) (*InjectiveResult, error) {
+	sp := trace.FromContext(ctx).Child("embed.injective")
+	out, err := embedInjective(res)
+	if err != nil {
+		sp.SetAttr("error", 1)
+	} else {
+		sp.SetAttr("n", int64(res.Guest.N()))
+	}
+	sp.End()
+	return out, err
+}
+
+func embedInjective(res *Result) (*InjectiveResult, error) {
 	if res.Host.Height()+4 > bitstr.MaxLevel {
 		return nil, fmt.Errorf("core: injective host height %d too large", res.Host.Height()+4)
 	}
@@ -71,6 +92,20 @@ type HypercubeResult struct {
 // n = 16·(2^r − 1) the host is the optimal hypercube Q_r (built from the
 // X-tree X(r−1)).
 func EmbedHypercube(res *Result) *HypercubeResult {
+	return EmbedHypercubeContext(context.Background(), res)
+}
+
+// EmbedHypercubeContext is EmbedHypercube under the context's trace
+// span: the χ host construction and composition record as one
+// "embed.hypercube" span.
+func EmbedHypercubeContext(ctx context.Context, res *Result) *HypercubeResult {
+	sp := trace.FromContext(ctx).Child("embed.hypercube")
+	out := embedHypercube(res)
+	sp.SetAttr("n", int64(res.Guest.N())).SetAttr("dim", int64(out.Host.Dim())).End()
+	return out
+}
+
+func embedHypercube(res *Result) *HypercubeResult {
 	r := res.Host.Height()
 	host := hypercube.New(r + 1)
 	out := make([]uint64, len(res.Assignment))

@@ -6,6 +6,7 @@ import (
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/bitstr"
 	"xtreesim/internal/separator"
+	"xtreesim/internal/trace"
 	"xtreesim/internal/xtree"
 )
 
@@ -43,14 +44,19 @@ type embedder struct {
 
 	stats Stats
 
+	// span is the tracing parent for the construction's phase spans
+	// (separator calls, rounds, final pass); nil when unsampled, making
+	// every instrumentation site a nil check.
+	span *trace.Span
+
 	nbuf []int32 // scratch for guest adjacency
 }
 
-func newEmbedder(t *bintree.Tree, r int, opts Options) *embedder {
+func newEmbedder(t *bintree.Tree, x *xtree.XTree, r int, opts Options) *embedder {
 	n := t.N()
 	e := &embedder{
 		t:         t,
-		x:         xtree.New(r),
+		x:         x,
 		r:         r,
 		opts:      opts,
 		laid:      make([]bool, n),
@@ -275,13 +281,44 @@ func (e *embedder) moveCompWhole(c *comp, target bitstr.Addr) (int, error) {
 	return len(laidNow), nil
 }
 
+// sepSpan wraps one Lemma 2 invocation (component rooting + separator
+// search) in an "embed.separator" span carrying the paper's cost
+// drivers: the host level the split serves (depth), the requested mass A
+// (target), the component size, and — set by the caller once the split
+// is known — the achieved slack |n2 − A|, which Lemma 2 bounds by
+// (A+4)/9.
+func (e *embedder) sepSpan(depth, target int, size int32) *trace.Span {
+	sp := e.span.Child("embed.separator")
+	sp.SetAttr("depth", int64(depth)).SetAttr("target", int64(target)).SetAttr("size", int64(size))
+	return sp
+}
+
+// endSepSpan closes a separator span with the achieved slack.
+func endSepSpan(sp *trace.Span, split separator.Split, target int, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.SetAttr("error", 1)
+	} else {
+		slack := int64(len(split.Part2) - target)
+		if slack < 0 {
+			slack = -slack
+		}
+		sp.SetAttr("slack", slack)
+	}
+	sp.End()
+}
+
 // splitComp applies Lemma 2 with the given target to component c, laying
 // S1 on hStay and S2 on hMove.  The remnants re-anchor automatically at
 // whichever vertex their separator neighbors were laid on.  It returns the
 // sizes laid on each side.
 func (e *embedder) splitComp(c *comp, target int, hStay, hMove bitstr.Addr) (s1, s2 int, err error) {
+	span := e.sepSpan(hMove.Level, target, c.size)
 	rt, r2 := e.rootedFor(c)
 	sp, err := separator.Lemma2(rt, r2, target)
+	endSepSpan(span, sp, target, err)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -305,10 +342,13 @@ func (e *embedder) splitComp(c *comp, target int, hStay, hMove bitstr.Addr) (s1,
 }
 
 // splitSizes pre-computes the separator sets of a Lemma 2 split without
-// applying it, so callers can check placement budgets first.
-func (e *embedder) splitSizes(c *comp, target int) (sp separator.Split, rt *separator.Rooted, err error) {
+// applying it, so callers can check placement budgets first.  depth is
+// the host level the split serves, recorded on the separator span.
+func (e *embedder) splitSizes(c *comp, target, depth int) (sp separator.Split, rt *separator.Rooted, err error) {
+	span := e.sepSpan(depth, target, c.size)
 	rt, r2 := e.rootedFor(c)
 	sp, err = separator.Lemma2(rt, r2, target)
+	endSepSpan(span, sp, target, err)
 	return sp, rt, err
 }
 

@@ -14,6 +14,8 @@ func (e *embedder) run() error {
 		return err
 	}
 	for i := 1; i <= e.r; i++ {
+		rsp := e.span.Child("embed.round")
+		rsp.SetAttr("round", int64(i))
 		e.stats.Rounds = i
 		w := e.computeWeights(i - 1)
 		budget := map[bitstr.Addr]int{}
@@ -24,6 +26,7 @@ func (e *embedder) run() error {
 			for idx := int64(0); idx < int64(1)<<uint(j); idx++ {
 				alpha := bitstr.Addr{Level: j, Index: uint64(idx)}
 				if err := e.adjustPair(alpha, i, w, budget); err != nil {
+					rsp.End()
 					return err
 				}
 			}
@@ -31,12 +34,17 @@ func (e *embedder) run() error {
 		for idx := int64(0); idx < int64(1)<<uint(i-1); idx++ {
 			alpha := bitstr.Addr{Level: i - 1, Index: uint64(idx)}
 			if err := e.split(alpha, i); err != nil {
+				rsp.End()
 				return err
 			}
 		}
 		e.recordImbalance(i)
+		rsp.End()
 	}
-	return e.finalPass()
+	fsp := e.span.Child("embed.final-pass")
+	err := e.finalPass()
+	fsp.SetAttr("fallbacks", int64(e.stats.FinalFallbacks)).End()
+	return err
 }
 
 // init16 lays the first 16 guest nodes (a connected subtree found by BFS
@@ -214,7 +222,7 @@ func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr
 			}
 		}
 		if big != nil {
-			sp, _, err := e.splitSizes(big, rem)
+			sp, _, err := e.splitSizes(big, rem, wT.Level)
 			if err == nil && len(sp.S1) <= *budD && len(sp.S2) <= *budT {
 				if err := e.applySplit(big, sp, wD, wT); err != nil {
 					return moved, err

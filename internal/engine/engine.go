@@ -32,6 +32,7 @@ import (
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/bitstr"
 	"xtreesim/internal/core"
+	"xtreesim/internal/trace"
 )
 
 // DefaultCacheSize is the cache capacity when Config.CacheSize is zero.
@@ -122,6 +123,28 @@ func (s Stats) AvgQueueWait() time.Duration {
 		return 0
 	}
 	return time.Duration(s.QueueWaitNanos / s.Completed)
+}
+
+// CacheHits returns the cache hits answered by remapping.
+func (s Stats) CacheHits() int64 { return s.Hits }
+
+// CacheMisses returns the cache lookups that ran the full embedder.
+func (s Stats) CacheMisses() int64 { return s.Misses }
+
+// Lookups returns the total cache lookups.  By construction every lookup
+// is exactly a hit or a miss: Lookups() == CacheHits() + CacheMisses().
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// QueueDepth returns the jobs accepted but not yet on a worker: queued
+// work waiting for capacity.  Clamped at 0 — the counters are sampled
+// independently, so a snapshot taken mid-handoff could otherwise go
+// transiently negative.
+func (s Stats) QueueDepth() int64 {
+	d := s.Submitted - s.Completed - s.InFlight
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 type job struct {
@@ -312,6 +335,10 @@ func (e *Engine) worker() {
 	for jb := range e.jobs {
 		start := time.Now()
 		e.queueWaitNanos.Add(start.Sub(jb.queuedAt).Nanoseconds())
+		// The job context crosses the submitter→worker goroutine
+		// boundary carrying the request's trace span (if sampled), so
+		// the queue wait and the phases below land in the right trace.
+		trace.Record(jb.ctx, "engine.queue-wait", jb.queuedAt, start)
 		e.inFlight.Add(1)
 		item := e.process(jb)
 		e.busyNanos.Add(time.Since(start).Nanoseconds())
@@ -338,20 +365,30 @@ func (e *Engine) process(jb job) BatchItem {
 		item.Err = fmt.Errorf("engine: nil tree at index %d", jb.index)
 		return item
 	}
+	parent := trace.FromContext(jb.ctx)
 	var code string
 	var order []int32
 	if e.cache != nil {
+		encStart := time.Now()
 		code, order = jb.tree.CanonicalCode()
-		if ent, ok := e.cache.get(code); ok {
+		parent.Record("engine.canonical-encode", encStart, time.Now(),
+			trace.Int("n", int64(jb.tree.N())))
+		lookStart := time.Now()
+		ent, ok := e.cache.get(code)
+		parent.Record("engine.cache-lookup", lookStart, time.Now(),
+			trace.Int("hit", b2i(ok)))
+		if ok {
 			e.hits.Add(1)
 			item.Result = remap(jb.tree, order, ent)
 			item.CacheHit = true
-			return e.derive(item)
+			return e.derive(jb.ctx, item)
 		}
 		e.misses.Add(1)
 	}
 	start := time.Now()
-	res, err := core.EmbedXTree(jb.tree, e.opts)
+	csp := parent.Child("engine.embed-compute")
+	res, err := core.EmbedXTreeContext(trace.ContextWithSpan(jb.ctx, csp), jb.tree, e.opts)
+	csp.End()
 	e.embedNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		item.Err = err
@@ -361,15 +398,22 @@ func (e *Engine) process(jb job) BatchItem {
 	if e.cache != nil {
 		e.cache.put(code, &cacheEntry{res: res, order: order})
 	}
-	return e.derive(item)
+	return e.derive(jb.ctx, item)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // derive attaches the Theorem 2/3 results when configured.  Both derive
 // from the (possibly remapped) Theorem 1 result, so they are correct on
 // cache hits too.
-func (e *Engine) derive(item BatchItem) BatchItem {
+func (e *Engine) derive(ctx context.Context, item BatchItem) BatchItem {
 	if e.derInj {
-		inj, err := core.EmbedInjective(item.Result)
+		inj, err := core.EmbedInjectiveContext(ctx, item.Result)
 		if err != nil {
 			item.Err = err
 			item.Result = nil
@@ -378,7 +422,7 @@ func (e *Engine) derive(item BatchItem) BatchItem {
 		item.Injective = inj
 	}
 	if e.derHc {
-		item.Hypercube = core.EmbedHypercube(item.Result)
+		item.Hypercube = core.EmbedHypercubeContext(ctx, item.Result)
 	}
 	return item
 }

@@ -1,0 +1,98 @@
+package netsim
+
+// tracebridge.go connects the simulator's Observer callbacks to the span
+// tracer (internal/trace): every link hop, delivery and retransmission
+// of a simulated run becomes a child span of the caller's "simulate"
+// span, so one trace ID covers embed + simulate end to end.  The bridge
+// is the read-only-observer contract applied to tracing — attaching it
+// never changes the Result — and callers attach it only when they hold a
+// sampled span, so the unsampled hot path keeps the simulator's plain
+// nil-observer check.
+
+import (
+	"xtreesim/internal/trace"
+)
+
+// SpanObserver turns simulator events into child spans of a parent span
+// (typically the request's "simulate" span).  Spans are instantaneous on
+// the wall clock — the simulator is synchronous — and carry the cycle
+// coordinates as attributes, so the cycle structure is reconstructible
+// from the trace alone.
+//
+// A nil parent makes every callback a no-op, which the alloc-guard
+// benchmark below locks in: tracing disabled costs nothing per hop.
+type SpanObserver struct {
+	NopObserver
+	// MaxSpans bounds how many event spans one run may emit; beyond it,
+	// events are counted in Truncated but produce no spans.  0 means
+	// 1<<16.  The tracer's ring bounds memory regardless; this bounds
+	// the span-construction work on very long runs.
+	MaxSpans int
+
+	parent    *trace.Span
+	emitted   int
+	Truncated int // events observed beyond MaxSpans
+}
+
+// NewSpanObserver builds a bridge that parents every event span under
+// parent.  A nil parent yields a valid, inert observer.
+func NewSpanObserver(parent *trace.Span) *SpanObserver {
+	return &SpanObserver{parent: parent}
+}
+
+// take reports whether another span may be emitted, counting truncation.
+func (o *SpanObserver) take() bool {
+	if o.parent == nil {
+		return false
+	}
+	maxS := o.MaxSpans
+	if maxS <= 0 {
+		maxS = 1 << 16
+	}
+	if o.emitted >= maxS {
+		o.Truncated++
+		return false
+	}
+	o.emitted++
+	return true
+}
+
+func (o *SpanObserver) OnHop(h HopInfo) {
+	if !o.take() {
+		return
+	}
+	sp := o.parent.Child("sim.hop")
+	sp.SetAttr("cycle", int64(h.Cycle)).
+		SetAttr("edge", int64(h.Edge)).
+		SetAttr("from", int64(h.From)).
+		SetAttr("to", int64(h.To)).
+		SetAttr("seq", h.Seq).
+		SetAttr("backlog", int64(h.Backlog))
+	sp.End()
+}
+
+func (o *SpanObserver) OnDeliver(d DeliverInfo) {
+	if !o.take() {
+		return
+	}
+	sp := o.parent.Child("sim.deliver")
+	sp.SetAttr("cycle", int64(d.Cycle)).
+		SetAttr("host", int64(d.Host)).
+		SetAttr("seq", d.Seq).
+		SetAttr("latency", int64(d.Latency))
+	if d.Local {
+		sp.SetAttr("local", 1)
+	}
+	sp.End()
+}
+
+func (o *SpanObserver) OnRetransmit(r RetransmitInfo) {
+	if !o.take() {
+		return
+	}
+	sp := o.parent.Child("sim.retransmit")
+	sp.SetAttr("cycle", int64(r.Cycle)).
+		SetAttr("seq", r.Seq).
+		SetAttr("attempt", int64(r.Attempt))
+	sp.End()
+}

@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/trace"
+)
+
+func TestHopSpansNestUnderSimulateSpan(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1, RingSize: 1 << 14})
+	_, root := tr.Root(context.Background(), "/v1/simulate")
+	sim := root.Child("simulate")
+
+	const n = 6
+	cfg := Config{Host: pathHost(n), Place: IdentityPlacement(n),
+		Observers: []Observer{NewSpanObserver(sim)}}
+	res, err := Run(cfg, &sendOne{from: 0, to: n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetAttr("cycles", int64(res.Cycles)).End()
+	root.End()
+
+	hops, delivers := 0, 0
+	for _, sd := range tr.Spans() {
+		switch sd.Name {
+		case "sim.hop":
+			hops++
+			if sd.Parent != sim.SpanID() {
+				t.Fatalf("hop span parents to %s, want the simulate span %s", sd.Parent, sim.SpanID())
+			}
+			if sd.Trace != root.TraceID() {
+				t.Fatalf("hop span trace %s, want %s", sd.Trace, root.TraceID())
+			}
+			if _, ok := sd.Attrs.Get("cycle"); !ok {
+				t.Fatalf("hop span lacks the cycle attribute: %v", sd.Attrs)
+			}
+		case "sim.deliver":
+			delivers++
+			if sd.Parent != sim.SpanID() {
+				t.Fatalf("deliver span parents to %s, want %s", sd.Parent, sim.SpanID())
+			}
+		}
+	}
+	// One message over a 5-link path: exactly 5 hops, 1 delivery.
+	if hops != n-1 || delivers != 1 {
+		t.Fatalf("traced %d hops and %d deliveries, want %d and 1", hops, delivers, n-1)
+	}
+}
+
+func TestSpanObserverDoesNotPerturbResult(t *testing.T) {
+	tr, err := bintree.Generate(bintree.FamilyRandom, 96, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := embeddedXTreeConfig(t, tr)
+	plain, err := Run(cfg, NewDivideConquer(tr, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := trace.New(trace.Config{SampleRate: 1, RingSize: 1 << 14})
+	_, root := tracer.Root(context.Background(), "req")
+	cfg.Observers = []Observer{NewSpanObserver(root)}
+	traced, err := Run(cfg, NewDivideConquer(tr, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("attaching the span bridge changed the result:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+func TestSpanObserverTruncation(t *testing.T) {
+	tracer := trace.New(trace.Config{SampleRate: 1})
+	_, root := tracer.Root(context.Background(), "req")
+	o := NewSpanObserver(root)
+	o.MaxSpans = 3
+	for i := 0; i < 10; i++ {
+		o.OnHop(HopInfo{Cycle: i, Edge: i})
+	}
+	root.End()
+	if o.Truncated != 7 {
+		t.Fatalf("truncated %d events, want 7", o.Truncated)
+	}
+	if got := tracer.Recorded(); got != 4 { // 3 hops + root
+		t.Fatalf("recorded %d spans, want 4", got)
+	}
+}
+
+func TestSpanObserverNilParentZeroAllocs(t *testing.T) {
+	o := NewSpanObserver(nil)
+	h := HopInfo{Cycle: 1, Edge: 2, From: 3, To: 4, Seq: 5}
+	d := DeliverInfo{Cycle: 1, Host: 2, Seq: 5, Latency: 3}
+	r := RetransmitInfo{Cycle: 1, Seq: 5, Attempt: 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		o.OnHop(h)
+		o.OnDeliver(d)
+		o.OnRetransmit(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span bridge allocated %.1f times per event batch, want 0", allocs)
+	}
+}
+
+// BenchmarkSpanObserverDisabled is the per-hop alloc guard for the
+// tracing-off path, mirroring BenchmarkLinkQueueSteadyState: run with
+// -benchmem and expect 0 B/op.
+func BenchmarkSpanObserverDisabled(b *testing.B) {
+	o := NewSpanObserver(nil)
+	h := HopInfo{Cycle: 1, Edge: 2, From: 3, To: 4, Seq: 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.OnHop(h)
+	}
+}
+
+// BenchmarkSpanObserverSampled prices the tracing-on path per hop (span
+// allocation + six attributes + ring insert).
+func BenchmarkSpanObserverSampled(b *testing.B) {
+	tracer := trace.New(trace.Config{SampleRate: 1, RingSize: 1 << 12})
+	_, root := tracer.Root(context.Background(), "req")
+	o := NewSpanObserver(root)
+	o.MaxSpans = 1 << 62
+	h := HopInfo{Cycle: 1, Edge: 2, From: 3, To: 4, Seq: 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.OnHop(h)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"xtreesim/internal/core"
 	"xtreesim/internal/engine"
 	"xtreesim/internal/netsim"
+	"xtreesim/internal/trace"
 	"xtreesim/internal/universal"
 )
 
@@ -105,7 +106,7 @@ func (s *Server) embedTrees(ctx context.Context, req *EmbedRequest, trees []*bin
 			if bi.Err != nil && errors.Is(bi.Err, ctx.Err()) && ctx.Err() != nil {
 				return nil, ctxError(ctx.Err())
 			}
-			items[bi.Index] = s.embedItem(req, bi)
+			items[bi.Index] = s.embedItem(ctx, req, bi)
 		}
 		return items, nil
 	}
@@ -118,14 +119,16 @@ func (s *Server) embedTrees(ctx context.Context, req *EmbedRequest, trees []*bin
 		if err := ctx.Err(); err != nil {
 			return nil, ctxError(err)
 		}
-		res, err := core.EmbedXTree(t, opts)
-		items[i] = s.embedItem(req, engine.BatchItem{Index: i, Tree: t, Result: res, Err: err})
+		res, err := core.EmbedXTreeContext(ctx, t, opts)
+		items[i] = s.embedItem(ctx, req, engine.BatchItem{Index: i, Tree: t, Result: res, Err: err})
 	}
 	return items, nil
 }
 
-// embedItem shapes one engine outcome into the wire item.
-func (s *Server) embedItem(req *EmbedRequest, bi engine.BatchItem) EmbedItem {
+// embedItem shapes one engine outcome into the wire item.  The derived
+// embeddings (hypercube χ, injective relocation) record phase spans
+// under the context's request span.
+func (s *Server) embedItem(ctx context.Context, req *EmbedRequest, bi engine.BatchItem) EmbedItem {
 	item := EmbedItem{Index: bi.Index}
 	if bi.Err != nil {
 		item.Error = bi.Err.Error()
@@ -133,7 +136,7 @@ func (s *Server) embedItem(req *EmbedRequest, bi engine.BatchItem) EmbedItem {
 	}
 	res := bi.Result
 	if req.hostName() == HostHypercube {
-		hr := core.EmbedHypercube(res)
+		hr := core.EmbedHypercubeContext(ctx, res)
 		emb := hr.Embedding()
 		return EmbedItem{
 			Index:        bi.Index,
@@ -162,7 +165,7 @@ func (s *Server) embedItem(req *EmbedRequest, bi engine.BatchItem) EmbedItem {
 		CacheHit:     bi.CacheHit,
 	}
 	if req.Injective {
-		inj, err := core.EmbedInjective(res)
+		inj, err := core.EmbedInjectiveContext(ctx, res)
 		if err != nil {
 			item.Error = err.Error()
 			return item
@@ -246,7 +249,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := bi.Result
-	embItem := s.embedItem(&EmbedRequest{}, bi)
+	embItem := s.embedItem(ctx, &EmbedRequest{}, bi)
 
 	place := make([]int32, tree.N())
 	for v, a := range res.Assignment {
@@ -258,7 +261,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		MaxCycles: req.MaxCycles,
 		Faults:    req.Faults.plan(),
 	}
+	// The simulation runs under its own child span; the observer bridge
+	// turns every hop/delivery/retransmit into grandchild spans, so one
+	// trace covers embed + simulate.  The typed bridge must only enter
+	// Observers when the span is live: a typed-nil *SpanObserver boxed in
+	// the interface would defeat the combiner's nil filter.
+	simSpan := trace.FromContext(ctx).Child("simulate")
+	if simSpan != nil {
+		cfg.Observers = append(cfg.Observers, netsim.NewSpanObserver(simSpan))
+	}
 	simRes, err := netsim.RunContext(ctx, cfg, req.workload(tree))
+	simSpan.SetAttr("cycles", int64(simRes.Cycles)).SetAttr("delivered", int64(simRes.Delivered)).End()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeAPIError(w, ctxError(err))
@@ -277,7 +290,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Place:     netsim.IdentityPlacement(tree.N()),
 			MaxCycles: req.MaxCycles,
 		}
+		// No hop bridge here: the baseline exists for the slowdown ratio,
+		// so one timing span suffices and the trace stays readable.
+		baseSpan := trace.FromContext(ctx).Child("simulate-baseline")
 		ideal, err := netsim.RunContext(ctx, idealCfg, req.workload(tree))
+		baseSpan.SetAttr("cycles", int64(ideal.Cycles)).End()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				writeAPIError(w, ctxError(err))

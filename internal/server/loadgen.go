@@ -43,6 +43,11 @@ type LoadConfig struct {
 	DistinctShapes int
 	// Timeout is the per-request client timeout (≤ 0 means 30s).
 	Timeout time.Duration
+	// Trace tags every request with a distinct X-Trace-Id header.  A
+	// valid header forces server-side sampling, so a traced load run
+	// exports one joinable trace per request regardless of the server's
+	// sample rate — useful for phase-profiling under load.
+	Trace bool
 }
 
 // LoadReport summarizes one load-generation run.
@@ -134,8 +139,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					return
 				}
 				body := bodies[rng.Intn(shapes)]
+				req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+"/v1/embed", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if cfg.Trace {
+					// Deterministic, distinct, nonzero: request index in
+					// the low bits, a fixed tag in the high bits.
+					req.Header.Set(TraceHeader, fmt.Sprintf("%016x", (uint64(i)+1)|(1<<48)))
+				}
 				t0 := time.Now()
-				resp, err := client.Post(cfg.BaseURL+"/v1/embed", "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				if err != nil {
 					errs.Add(1)
 					continue

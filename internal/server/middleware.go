@@ -15,7 +15,15 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"xtreesim/internal/trace"
 )
+
+// TraceHeader carries the trace ID: set on every traced response, and
+// honored on requests — a client (or the load generator's -trace flag)
+// that sends a valid 16-hex-digit ID forces sampling and joins its span
+// tree to that ID, so one trace can span caller and server.
+const TraceHeader = "X-Trace-Id"
 
 // statusWriter captures the status code and the bytes written so the
 // access log and the per-route counters see what the client saw.
@@ -70,13 +78,30 @@ func writeAPIError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 }
 
-// instrument wraps h with panic recovery, the access log and the
-// per-route metrics.  route is the normalized route label ("/v1/embed"),
-// not the raw URL, so the metric cardinality stays fixed.
+// instrument wraps h with panic recovery, the access log, the per-route
+// metrics, and — when tracing is on — the request's root span.  route is
+// the normalized route label ("/v1/embed"), not the raw URL, so the
+// metric cardinality stays fixed and span names match metric labels.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		var span *trace.Span
+		if s.tracer != nil {
+			var ctx = r.Context()
+			if id, ok := trace.ParseID(r.Header.Get(TraceHeader)); ok {
+				ctx, span = s.tracer.RootWithID(ctx, route, id)
+			} else {
+				ctx, span = s.tracer.Root(ctx, route)
+			}
+			if span != nil {
+				// The header must go out before the handler writes the
+				// status line, so set it now: the client learns the ID to
+				// look up in /debug/trace even on error responses.
+				sw.Header().Set(TraceHeader, span.TraceID())
+				r = r.WithContext(ctx)
+			}
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.logger.Printf("panic route=%s err=%v\n%s", route, rec, debug.Stack())
@@ -86,9 +111,14 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 			dur := time.Since(start)
 			s.metrics.record(route, sw.status, dur)
+			span.SetAttr("status", int64(sw.status)).SetAttr("bytes", sw.bytes).End()
 			if s.accessLog {
-				s.logger.Printf("method=%s route=%s status=%d bytes=%d dur_ms=%.3f remote=%s",
-					r.Method, route, sw.status, sw.bytes, float64(dur.Microseconds())/1000, r.RemoteAddr)
+				tid := "-"
+				if span != nil {
+					tid = span.TraceID()
+				}
+				s.logger.Printf("method=%s route=%s status=%d bytes=%d dur_ms=%.3f remote=%s trace=%s",
+					r.Method, route, sw.status, sw.bytes, float64(dur.Microseconds())/1000, r.RemoteAddr, tid)
 			}
 		}()
 		h(sw, r)

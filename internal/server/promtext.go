@@ -84,7 +84,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeHelp(&b, "xtreesim_http_requests_total", "counter", "HTTP requests served, by route and status code.")
 	for _, rc := range s.metrics.snapshotRequests() {
-		fmt.Fprintf(&b, "xtreesim_http_requests_total{route=%q,code=\"%d\"} %d\n", rc.route, rc.code, rc.count)
+		fmt.Fprintf(&b, "xtreesim_http_requests_total{route=\"%s\",code=\"%d\"} %d\n",
+			escapeLabelValue(rc.route), rc.code, rc.count)
 	}
 
 	writeHelp(&b, "xtreesim_http_in_flight", "gauge", "API requests currently holding an admission slot.")
@@ -97,23 +98,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "xtreesim_http_shed_total %d\n", s.admit.shedTotal())
 
 	writeHelp(&b, "xtreesim_http_request_duration_seconds", "histogram", "Request latency over all routes.")
-	for _, bk := range s.metrics.latency.Buckets() {
-		le := "+Inf"
-		if !math.IsInf(bk.Le, 1) {
-			le = formatFloat(bk.Le)
-		}
-		fmt.Fprintf(&b, "xtreesim_http_request_duration_seconds_bucket{le=%q} %d\n", le, bk.Count)
-	}
+	writeHistogram(&b, "xtreesim_http_request_duration_seconds", "", s.metrics.latency)
 	sum := s.metrics.latency.Summary()
-	fmt.Fprintf(&b, "xtreesim_http_request_duration_seconds_sum %s\n", formatFloat(sum.Sum))
-	fmt.Fprintf(&b, "xtreesim_http_request_duration_seconds_count %d\n", sum.Count)
 
 	writeHelp(&b, "xtreesim_http_request_duration_quantile_seconds", "gauge", "Interpolated latency quantiles (p50/p95/p99).")
 	for _, q := range []struct {
 		label string
 		v     float64
 	}{{"0.5", sum.P50}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
-		fmt.Fprintf(&b, "xtreesim_http_request_duration_quantile_seconds{quantile=%q} %s\n", q.label, formatFloat(q.v))
+		fmt.Fprintf(&b, "xtreesim_http_request_duration_quantile_seconds{quantile=\"%s\"} %s\n", q.label, formatFloat(q.v))
 	}
 
 	es := s.engine.Stats()
@@ -137,6 +130,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "xtreesim_engine_utilization %s\n", formatFloat(es.Utilization()))
 	writeHelp(&b, "xtreesim_engine_avg_queue_wait_seconds", "gauge", "Mean time a completed job waited for a worker.")
 	fmt.Fprintf(&b, "xtreesim_engine_avg_queue_wait_seconds %s\n", formatFloat(es.AvgQueueWait().Seconds()))
+	writeHelp(&b, "xtreesim_engine_queue_depth", "gauge", "Jobs accepted but not yet on a worker.")
+	fmt.Fprintf(&b, "xtreesim_engine_queue_depth %d\n", es.QueueDepth())
+
+	if s.tracer != nil {
+		phases := s.tracer.PhaseHistograms()
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		writeHelp(&b, "xtreesim_trace_phase_duration_seconds", "histogram",
+			"Sampled span durations by phase (span name), across all traces.")
+		for _, name := range names {
+			writeHistogram(&b, "xtreesim_trace_phase_duration_seconds",
+				fmt.Sprintf("phase=\"%s\"", escapeLabelValue(name)), phases[name])
+		}
+		writeHelp(&b, "xtreesim_trace_spans_recorded_total", "counter", "Spans recorded into the trace ring.")
+		fmt.Fprintf(&b, "xtreesim_trace_spans_recorded_total %d\n", s.tracer.Recorded())
+		writeHelp(&b, "xtreesim_trace_spans_dropped_total", "counter", "Spans overwritten before export (ring overflow).")
+		fmt.Fprintf(&b, "xtreesim_trace_spans_dropped_total %d\n", s.tracer.Dropped())
+	}
 
 	writeHelp(&b, "xtreesim_uptime_seconds", "gauge", "Seconds since the server started.")
 	fmt.Fprintf(&b, "xtreesim_uptime_seconds %s\n", formatFloat(time.Since(s.started).Seconds()))
@@ -151,6 +165,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func writeHelp(b *strings.Builder, name, typ, help string) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
+
+// writeHistogram renders one histogram series in the order the text
+// format mandates: cumulative _bucket lines ending at le="+Inf", then
+// _sum, then _count.  labels is either empty or a pre-escaped
+// `key="value"` fragment merged with the le label.
+func writeHistogram(b *strings.Builder, name, labels string, h *metrics.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, bk := range h.Buckets() {
+		le := "+Inf"
+		if !math.IsInf(bk.Le, 1) {
+			le = formatFloat(bk.Le)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, le, bk.Count)
+	}
+	if labels != "" {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.Count())
+	} else {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	}
+}
+
+// labelEscaper implements the Prometheus text-format escaping rules for
+// label values: exactly backslash, double quote and newline are escaped
+// — nothing else.  (%q is wrong here: it also escapes tabs, control
+// bytes and non-ASCII runes, which the format wants verbatim UTF-8.)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
 
 // formatFloat renders a metric value the way Prometheus parsers expect:
 // plain decimal, no exponent for the common magnitudes.

@@ -26,6 +26,8 @@
 //	POST /v1/simulate  embed + run a workload on the simulated X-tree machine
 //	GET  /healthz      liveness + uptime
 //	GET  /metrics      Prometheus text exposition
+//	GET  /debug/trace  exported spans (JSONL; ?format=chrome for chrome://tracing)
+//	GET  /debug/pprof  runtime profiles (only with Config.EnablePprof)
 package server
 
 import (
@@ -34,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"xtreesim/internal/engine"
+	"xtreesim/internal/trace"
 )
 
 // Defaults for the zero Config.
@@ -89,6 +93,20 @@ type Config struct {
 	Logger    *log.Logger
 	AccessLog bool
 
+	// Tracer, when non-nil, receives a root span per sampled request and
+	// all the engine/embedder/simulator phase spans below it.  When nil
+	// and TraceSample > 0 the server creates its own tracer (exported at
+	// /debug/trace).  TraceSample is the fraction of requests traced,
+	// 0..1; requests carrying a valid X-Trace-Id header are always
+	// traced, joining the caller's trace ID.
+	Tracer      *trace.Tracer
+	TraceSample float64
+
+	// EnablePprof registers net/http/pprof's profile handlers under
+	// /debug/pprof/.  Off by default: profiles expose internals and cost
+	// CPU, so the operator opts in (xtree-serve -pprof).
+	EnablePprof bool
+
 	// Version is reported by /healthz (e.g. from buildinfo.Version).
 	Version string
 }
@@ -96,13 +114,15 @@ type Config struct {
 // Server is one serving process.  Create with New, boot with Start, stop
 // with Shutdown.
 type Server struct {
-	engine     *engine.Engine
-	ownsEngine bool
-	admit      *admission
-	metrics    *serverMetrics
-	logger     *log.Logger
-	accessLog  bool
-	version    string
+	engine      *engine.Engine
+	ownsEngine  bool
+	admit       *admission
+	metrics     *serverMetrics
+	logger      *log.Logger
+	accessLog   bool
+	version     string
+	tracer      *trace.Tracer
+	enablePprof bool
 
 	requestTimeout time.Duration
 	maxBodyBytes   int64
@@ -139,6 +159,12 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = log.New(os.Stderr, "xtree-serve ", log.LstdFlags|log.Lmsgprefix)
 	}
+	tracer := cfg.Tracer
+	if tracer == nil && cfg.TraceSample > 0 {
+		// A serving ring holds a few thousand requests' worth of spans
+		// (each /v1/simulate can emit hundreds of hop spans).
+		tracer = trace.New(trace.Config{SampleRate: cfg.TraceSample, RingSize: 1 << 15})
+	}
 	s := &Server{
 		engine:         eng,
 		ownsEngine:     owns,
@@ -147,6 +173,8 @@ func New(cfg Config) *Server {
 		logger:         logger,
 		accessLog:      cfg.AccessLog,
 		version:        cfg.Version,
+		tracer:         tracer,
+		enablePprof:    cfg.EnablePprof,
 		requestTimeout: cfg.RequestTimeout,
 		maxBodyBytes:   cfg.MaxBodyBytes,
 		maxBatch:       cfg.MaxBatch,
@@ -186,11 +214,28 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/simulate", s.guarded("/v1/simulate", s.handleSimulate))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.tracer != nil {
+		mux.Handle("/debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
+	}
+	if s.enablePprof {
+		// Explicit registration instead of the package's init-time
+		// DefaultServeMux side effect, so profiles exist only when the
+		// operator asked for them.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no such route (have /v1/embed, /v1/simulate, /healthz, /metrics)")
 	}))
 	return mux
 }
+
+// Tracer returns the server's span tracer (nil when tracing is off),
+// for embedding processes that want to export spans themselves.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Start listens on the configured address and serves in the background.
 // After Start, Addr reports the bound address.  Serve errors surface
