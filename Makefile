@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench
+.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke
 
 all: vet test
 
@@ -81,6 +81,15 @@ serve-smoke:
 # depth attributes, and simulator hops nested under the simulate span.
 trace-smoke:
 	$(GO) run ./cmd/xtree-serve -trace-smoke
+
+# The concurrency-scaling gate (also the CI scale job): the load
+# generator drives a default-config in-process server at c=1 and then
+# c=8; on a multi-core machine the concurrent run must beat the serial
+# one (2x on >= 4 CPUs, 1.2x on 2-3; skipped on 1 CPU where a closed
+# CPU-bound loop cannot scale).  This is the gate the pre-redesign
+# single-worker server engine failed by construction.
+scale-smoke:
+	$(GO) run ./cmd/xtree-serve -scale-smoke -n 600
 
 # E19 only: traced phase breakdown (separator vs host-build vs simulate).
 phase-bench:

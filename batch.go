@@ -2,9 +2,10 @@ package xtreesim
 
 // batch.go surfaces the concurrent batch-embedding engine
 // (internal/engine): a bounded worker pool over algorithm X-TREE fronted
-// by a canonical-tree LRU cache, so isomorphic guests — which dominate
-// real workloads — pay for one embedding and receive remapped
-// assignments on every later hit.
+// by a sharded canonical-tree LRU cache with request coalescing, so
+// isomorphic guests — which dominate real workloads — pay for one
+// embedding and receive remapped assignments on every later hit, even
+// when they arrive simultaneously.
 
 import (
 	"context"
@@ -14,18 +15,40 @@ import (
 )
 
 type (
-	// Engine is a concurrent batch embedder with a canonical-tree
-	// cache.  Create one with NewEngine and release it with Close.
+	// Engine is a concurrent batch embedder with a sharded
+	// canonical-tree cache.  Create one with NewEngine and release it
+	// with Close.
 	Engine = engine.Engine
 	// EngineConfig configures NewEngine; the zero value means one
-	// worker per CPU and a default-sized cache.
+	// worker per CPU, a default-sized cache striped over several lock
+	// shards, and coalescing of concurrent isomorphic requests.  See
+	// the Workers, CacheSize, CacheShards and Coalesce fields.
 	EngineConfig = engine.Config
-	// EngineStats is a snapshot of the engine counters (cache hits and
-	// misses, in-flight jobs, cumulative embed nanoseconds).
+	// EngineStats is a snapshot of the engine counters (cache hits,
+	// misses, coalesced waits, evictions, in-flight jobs, cumulative
+	// embed nanoseconds).
 	EngineStats = engine.Stats
 	// BatchItem is the per-tree outcome of EmbedBatch or Submit.
 	BatchItem = engine.BatchItem
+	// CoalesceMode selects whether concurrent requests for isomorphic
+	// trees share one embedding computation (EngineConfig.Coalesce).
+	CoalesceMode = engine.CoalesceMode
+	// ShardStat is one cache shard's occupancy and counters, from
+	// Engine.ShardStats.
+	ShardStat = engine.ShardStat
 )
+
+// Coalesce modes for EngineConfig.Coalesce.  The zero value
+// (CoalesceDefault) means on.
+const (
+	CoalesceDefault = engine.CoalesceDefault
+	CoalesceOn      = engine.CoalesceOn
+	CoalesceOff     = engine.CoalesceOff
+)
+
+// MaxCacheShards is the upper bound EngineConfig.CacheShards is clamped
+// to.
+const MaxCacheShards = engine.MaxCacheShards
 
 // ErrEngineClosed is returned for work submitted after Engine.Close.
 var ErrEngineClosed = engine.ErrClosed

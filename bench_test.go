@@ -196,12 +196,16 @@ func BenchmarkBaselines(b *testing.B) {
 	tree := mustTree(b, xtreesim.FamilyRandom, int(xtreesim.Capacity(7)), 9)
 	b.Run("dfs-pack", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = xtreesim.BaselineDFSPack(tree)
+			if _, err := xtreesim.Baseline(tree, xtreesim.MethodDFSPack); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("bfs-pack", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = xtreesim.BaselineBFSPack(tree)
+			if _, err := xtreesim.Baseline(tree, xtreesim.MethodBFSPack); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("monien", func(b *testing.B) {

@@ -138,7 +138,8 @@ func e12Congestion() {
 		check(err)
 		hostG := res.Host.AsGraph()
 		mMax, mMean := metrics.EdgeCongestion(res.Embedding(), hostG)
-		base := xtreesim.BaselineDFSPack(tr)
+		base, err := xtreesim.Baseline(tr, xtreesim.MethodDFSPack)
+		check(err)
 		bMax, bMean := metrics.EdgeCongestion(base.Embedding(), base.Host.AsGraph())
 		row(r, n, mMax, fmt.Sprintf("%.2f", mMean), bMax, fmt.Sprintf("%.2f", bMean))
 	}

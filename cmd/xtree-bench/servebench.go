@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"xtreesim/internal/server"
@@ -45,7 +46,16 @@ type serveBenchFile struct {
 		DistinctShapes int    `json:"distinct_shapes"`
 		RequestsPerLvl int    `json:"requests_per_level"`
 		EngineWorkers  int    `json:"engine_workers"`
+		CacheShards    int    `json:"cache_shards"`
+		Coalesce       bool   `json:"coalesce"`
+		NumCPU         int    `json:"num_cpu"`
 	} `json:"config"`
+	Engine struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		Evictions int64 `json:"evictions"`
+	} `json:"engine"`
 	Results []serveBenchPoint `json:"results"`
 }
 
@@ -85,7 +95,11 @@ func e18Serving() {
 	out.Config.Family = family
 	out.Config.DistinctShapes = shapes
 	out.Config.RequestsPerLvl = perLvl
-	out.Config.EngineWorkers = s.Stats().Workers
+	startStats := s.Stats()
+	out.Config.EngineWorkers = startStats.Workers
+	out.Config.CacheShards = startStats.Shards
+	out.Config.Coalesce = true // the default engine coalesces
+	out.Config.NumCPU = runtime.NumCPU()
 
 	for _, c := range levels {
 		rep, err := server.RunLoad(server.LoadConfig{
@@ -120,8 +134,13 @@ func e18Serving() {
 	}
 
 	st := s.Stats()
-	fmt.Printf("\nengine after sweep: hits=%d misses=%d hit_rate=%.2f utilization=%.2f avg_queue_wait=%s\n",
-		st.Hits, st.Misses, st.HitRate(), st.Utilization(), st.AvgQueueWait().Round(time.Microsecond))
+	fmt.Printf("\nengine after sweep: hits=%d misses=%d coalesced=%d evictions=%d hit_rate=%.2f workers=%d shards=%d utilization=%.2f avg_queue_wait=%s\n",
+		st.Hits, st.Misses, st.Coalesced, st.Evictions, st.HitRate(), st.Workers, st.Shards,
+		st.Utilization(), st.AvgQueueWait().Round(time.Microsecond))
+	out.Engine.Hits = st.Hits
+	out.Engine.Misses = st.Misses
+	out.Engine.Coalesced = st.Coalesced
+	out.Engine.Evictions = st.Evictions
 
 	if *serveBenchOut != "" {
 		raw, err := json.MarshalIndent(out, "", "  ")

@@ -9,11 +9,13 @@
 //	xtree-serve -loadgen -url http://host:8080 -c 16 -n 2000
 //	xtree-serve -smoke                      # self-check: boot, drive, verify, exit
 //	xtree-serve -trace-smoke                # tracing self-check: one traced request, validated export
+//	xtree-serve -scale-smoke                # concurrency self-check: loadgen at c=1 vs c=8
 //	xtree-serve -version
 //
-// Serving flags tune the production knobs: -workers and -cache size the
-// engine, -max-concurrent and -queue bound admission, -timeout is the
-// per-request deadline, -max-body/-max-batch/-max-tree cap inputs.
+// Serving flags tune the production knobs: -workers, -cache,
+// -cache-shards and -coalesce size the engine, -max-concurrent and
+// -queue bound admission, -timeout is the per-request deadline,
+// -max-body/-max-batch/-max-tree cap inputs.
 // Observability: -trace-sample samples that fraction of requests into
 // /debug/trace (clients sending X-Trace-Id are always traced), -pprof
 // exposes /debug/pprof/.
@@ -36,9 +38,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "engine workers (0 = one per CPU)")
-		cache   = flag.Int("cache", 0, "engine cache entries (0 = default, negative = disabled)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "engine workers (0 = one per CPU)")
+		cache       = flag.Int("cache", 0, "engine cache entries (0 = default, negative = disabled)")
+		cacheShards = flag.Int("cache-shards", 0, "cache lock shards (0 = auto: ~4x workers, rounded to a power of two)")
+		coalesce    = flag.Bool("coalesce", true, "coalesce concurrent requests for isomorphic trees into one embedding")
 
 		maxConcurrent = flag.Int("max-concurrent", 0, "API requests processed at once (0 = one per CPU)")
 		maxQueue      = flag.Int("queue", -1, "admission wait-queue length (-1 = 4x max-concurrent, 0 = shed when busy)")
@@ -61,6 +65,7 @@ func main() {
 
 		smoke      = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
 		traceSmoke = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
+		scaleSmoke = flag.Bool("scale-smoke", false, "run the concurrency-scaling self-check and exit (0 = pass)")
 		verFlag    = flag.Bool("version", false, "print build info and exit")
 		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
@@ -81,15 +86,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("trace-smoke: PASS")
+	case *scaleSmoke:
+		if err := runScaleSmoke(*requests, *treeN, *shapes); err != nil {
+			fmt.Fprintf(os.Stderr, "scale-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
 	case *loadgen:
 		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
 	default:
+		coalesceMode := engine.CoalesceOn
+		if !*coalesce {
+			coalesceMode = engine.CoalesceOff
+		}
 		cfg := server.Config{
-			Addr:           *addr,
-			EngineConfig:   engine.Config{Workers: *workers, CacheSize: *cache},
+			Addr: *addr,
+			EngineConfig: engine.Config{
+				Workers:     *workers,
+				CacheSize:   *cache,
+				CacheShards: *cacheShards,
+				Coalesce:    coalesceMode,
+			},
 			MaxConcurrent:  *maxConcurrent,
 			MaxQueue:       *maxQueue,
 			RequestTimeout: *timeout,
@@ -163,8 +182,9 @@ func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool) e
 	fmt.Println(rep)
 	if s != nil {
 		st := s.Stats()
-		fmt.Printf("engine: hits=%d misses=%d hit_rate=%.2f utilization=%.2f avg_queue_wait=%s\n",
-			st.Hits, st.Misses, st.HitRate(), st.Utilization(), st.AvgQueueWait().Round(time.Microsecond))
+		fmt.Printf("engine: hits=%d misses=%d coalesced=%d evictions=%d hit_rate=%.2f workers=%d shards=%d utilization=%.2f avg_queue_wait=%s\n",
+			st.Hits, st.Misses, st.Coalesced, st.Evictions, st.HitRate(), st.Workers, st.Shards,
+			st.Utilization(), st.AvgQueueWait().Round(time.Microsecond))
 	}
 	return nil
 }

@@ -24,6 +24,21 @@ func TestLoadgenInProcess(t *testing.T) {
 	}
 }
 
+// TestScaleRunPath exercises the measured half of -scale-smoke (boot,
+// drive, throughput) at both concurrencies regardless of CPU count; the
+// ratio gate itself only runs on multi-core machines.
+func TestScaleRunPath(t *testing.T) {
+	for _, conc := range []int{1, 8} {
+		thpt, err := scaleRun(conc, 24, 255, 2)
+		if err != nil {
+			t.Fatalf("c=%d: %v", conc, err)
+		}
+		if thpt <= 0 {
+			t.Fatalf("c=%d: throughput %f", conc, thpt)
+		}
+	}
+}
+
 func TestVersionString(t *testing.T) {
 	v := buildinfo.Version()
 	if !strings.HasPrefix(v, "xtreesim") || !strings.Contains(v, "go1") {

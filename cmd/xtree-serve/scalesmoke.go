@@ -1,0 +1,88 @@
+package main
+
+// scalesmoke.go is the `-scale-smoke` self-check behind `make
+// scale-smoke` and the CI scale job: it boots one in-process server and
+// drives the closed-loop load generator at c=1 and then c=8 against it,
+// requiring the concurrent run's throughput to actually scale.  The
+// pre-redesign server (Workers defaulting to 1 inside the engine)
+// failed this check by construction; post-redesign the only ceiling is
+// the machine itself, so the required ratio follows the CPU count:
+//
+//	≥ 4 CPUs   c=8 must reach ≥ 2.0× the c=1 throughput
+//	2–3 CPUs   c=8 must reach ≥ 1.2×
+//	1 CPU      SKIP — a closed CPU-bound loop cannot scale on one core
+//
+// Each run uses a fresh server so the second run's cache is as cold as
+// the first's; within a run the shape mix repeats, which is exactly the
+// serving workload the sharded cache and coalescer are built for.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"xtreesim/internal/server"
+)
+
+func runScaleSmoke(requests, treeN, shapes int) error {
+	ncpu := runtime.NumCPU()
+	if ncpu < 2 {
+		fmt.Printf("scale-smoke: SKIP (1 CPU: a closed CPU-bound loop cannot scale; need >= 2)\n")
+		return nil
+	}
+	need := 1.2
+	if ncpu >= 4 {
+		need = 2.0
+	}
+
+	t1, err := scaleRun(1, requests, treeN, shapes)
+	if err != nil {
+		return fmt.Errorf("c=1 run: %w", err)
+	}
+	t8, err := scaleRun(8, requests, treeN, shapes)
+	if err != nil {
+		return fmt.Errorf("c=8 run: %w", err)
+	}
+	ratio := 0.0
+	if t1 > 0 {
+		ratio = t8 / t1
+	}
+	fmt.Printf("scale-smoke: %d CPUs, c=1 %.1f/s, c=8 %.1f/s, ratio %.2fx (need >= %.1fx)\n",
+		ncpu, t1, t8, ratio, need)
+	if ratio < need {
+		return fmt.Errorf("c=8 throughput %.1f/s is only %.2fx of c=1 %.1f/s, need >= %.1fx",
+			t8, ratio, t1, need)
+	}
+	fmt.Println("scale-smoke: PASS")
+	return nil
+}
+
+// scaleRun boots a fresh default-config server, drives it at the given
+// concurrency, and returns the OK-responses-per-second throughput.
+func scaleRun(conc, requests, treeN, shapes int) (float64, error) {
+	s := server.New(server.Config{})
+	if err := s.Start(); err != nil {
+		return 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	rep, err := server.RunLoad(server.LoadConfig{
+		BaseURL:        s.URL(),
+		Concurrency:    conc,
+		Requests:       requests,
+		TreeN:          treeN,
+		DistinctShapes: shapes,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if rep.Errors > 0 {
+		return 0, fmt.Errorf("c=%d: %d request errors: %s", conc, rep.Errors, rep)
+	}
+	fmt.Printf("scale-smoke: c=%d %s\n", conc, rep)
+	return rep.Throughput, nil
+}

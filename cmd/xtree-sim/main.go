@@ -80,14 +80,20 @@ func run(w io.Writer, family string, n int, seed int64, workload string, waves i
 		fmt.Fprintf(w, "embedding: dilation=%d load=%d host=X(%d)\n",
 			res.Dilation(), res.MaxLoad(), res.Host.Height())
 	case "dfs", "bfs", "random":
-		var base *xtreesim.BaselineResult
+		var (
+			base *xtreesim.BaselineResult
+			err  error
+		)
 		switch placement {
 		case "dfs":
-			base = xtreesim.BaselineDFSPack(tree)
+			base, err = xtreesim.Baseline(tree, xtreesim.MethodDFSPack)
 		case "bfs":
-			base = xtreesim.BaselineBFSPack(tree)
+			base, err = xtreesim.Baseline(tree, xtreesim.MethodBFSPack)
 		default:
-			base = xtreesim.BaselineRandom(tree, seed)
+			base, err = xtreesim.Baseline(tree, xtreesim.MethodRandom, xtreesim.WithBaselineSeed(seed))
+		}
+		if err != nil {
+			return err
 		}
 		place := make([]int32, tree.N())
 		for v, a := range base.Assignment {

@@ -145,7 +145,7 @@ func cmdVerify(args []string) {
 	family, n, seed, in := treeFlags(fs)
 	fs.Parse(args)
 	t := loadTree(*family, *n, *seed, *in)
-	res, err := xtreesim.EmbedStrict(t)
+	res, err := xtreesim.Embed(t, xtreesim.WithStrict())
 	if err != nil {
 		fail(err)
 	}

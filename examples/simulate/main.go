@@ -41,7 +41,10 @@ func main() {
 			log.Fatal(err)
 		}
 
-		base := xtreesim.BaselineDFSPack(tree)
+		base, err := xtreesim.Baseline(tree, xtreesim.MethodDFSPack)
+		if err != nil {
+			log.Fatal(err)
+		}
 		place := make([]int32, tree.N())
 		for v, a := range base.Assignment {
 			place[v] = int32(a.ID())

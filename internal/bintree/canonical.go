@@ -150,6 +150,14 @@ func (t *Tree) CanonicalCode() (string, []int32) {
 // first-pass discriminator.
 func (t *Tree) CanonicalHash() uint64 {
 	code, _ := t.CanonicalCode()
+	return HashCode(code)
+}
+
+// HashCode returns CanonicalHash for an already-computed canonical code,
+// so callers holding the code string (the engine, which needs the code
+// as a collision-proof cache key anyway) can derive the hash without
+// re-walking the tree.  HashCode(t.CanonicalCode()) == t.CanonicalHash().
+func HashCode(code string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

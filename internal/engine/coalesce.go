@@ -1,0 +1,62 @@
+package engine
+
+// coalesce.go is the request coalescer: a singleflight keyed on the
+// canonical tree code.  When a thundering herd of isomorphic guests
+// misses the cache at once — the classic cold-start stampede after a
+// deploy or an eviction — exactly one job (the flight's leader) runs the
+// embedder; every other job registers as a waiter, blocks until the
+// leader publishes, and answers with a remapped copy of the leader's
+// result, just like a cache hit.  N identical concurrent requests cost
+// one embed compute, not N.
+//
+// The leader computes under a context detached from its own request
+// (context.WithoutCancel): the result is owed to the whole flight, so
+// cancelling the request that happened to arrive first must not poison
+// the waiters.  Waiters keep their own cancellation — a waiter whose
+// context fires stops waiting and reports its own ctx.Err().
+
+import "sync"
+
+// flight is one in-progress embed compute and its rendezvous point.
+// ent/err are written by the leader before done is closed and read by
+// waiters only after done is closed, so they need no lock.
+type flight struct {
+	done chan struct{}
+	ent  *cacheEntry
+	err  error
+}
+
+// coalescer tracks the in-flight embeds by canonical code.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: make(map[string]*flight)}
+}
+
+// lead returns the flight for key and whether the caller is its leader.
+// A leader must eventually call finish; a non-leader waits on
+// flight.done.
+func (g *coalescer) lead(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.inflight[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.inflight[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's outcome and releases every waiter.  The
+// key is retired first, so a later miss starts a fresh flight instead of
+// joining a finished one.
+func (g *coalescer) finish(key string, fl *flight, ent *cacheEntry, err error) {
+	fl.ent, fl.err = ent, err
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(fl.done)
+}

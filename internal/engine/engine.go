@@ -14,6 +14,13 @@
 // bintree.CanonicalCode and answers cache hits with a remapped copy of
 // the stored result instead of re-running the construction.
 //
+// The cache is sharded by bintree.HashCode of the canonical code
+// (shard.go) so unrelated shapes stop contending on one mutex while
+// isomorphic trees still collapse to one shard, and concurrent misses
+// on the same shape coalesce into a single embed compute (coalesce.go)
+// — a thundering herd of identical trees costs one embedding, with the
+// waiters counted in Stats.Coalesced.
+//
 // Batch calls take a context.Context: cancelling it stops unstarted work
 // immediately (those items report ctx.Err()); embeddings already on a
 // worker run to completion, bounding the cancellation latency by one
@@ -38,19 +45,52 @@ import (
 // DefaultCacheSize is the cache capacity when Config.CacheSize is zero.
 const DefaultCacheSize = 1024
 
+// MaxCacheShards caps the automatic and requested shard counts; beyond
+// a few hundred shards the striping gain is noise while the fixed
+// footprint keeps growing.
+const MaxCacheShards = 256
+
 // ErrClosed is returned for work submitted after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// CoalesceMode selects whether concurrent identical embeds are
+// coalesced into one compute (a singleflight on the canonical code).
+type CoalesceMode int
+
+const (
+	// CoalesceDefault means CoalesceOn: coalescing is the default.
+	CoalesceDefault CoalesceMode = iota
+	// CoalesceOn coalesces concurrent isomorphic misses into one embed.
+	CoalesceOn
+	// CoalesceOff computes every miss independently.
+	CoalesceOff
+)
+
 // Config configures a new Engine.  The zero value is usable: one worker
-// per CPU, a DefaultCacheSize-entry cache, and the theorem-default
-// embedding options.
+// per CPU, a DefaultCacheSize-entry cache striped over an automatic
+// shard count, coalescing on, and the theorem-default embedding
+// options.  Every field is validated and clamped in one place,
+// Config.normalize(), so the engine, the server's owned engine and the
+// xtree-serve flags all resolve identical defaults.
 type Config struct {
 	// Workers is the number of concurrent embedders; ≤ 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// CacheSize is the canonical-tree LRU capacity in embeddings; 0
-	// means DefaultCacheSize, negative disables caching entirely.
+	// CacheSize is the canonical-tree LRU capacity in embeddings
+	// across all shards; 0 means DefaultCacheSize, negative disables
+	// caching entirely.
 	CacheSize int
+	// CacheShards is the number of independent cache shards the LRU is
+	// striped across, selected by bintree.HashCode of the canonical
+	// code so isomorphic trees still collapse to one shard.  0 means
+	// an automatic per-worker default; values are rounded up to a
+	// power of two and clamped to [1, min(CacheSize, MaxCacheShards)].
+	CacheShards int
+	// Coalesce controls request coalescing (CoalesceDefault = on): a
+	// thundering herd of concurrent isomorphic misses costs exactly
+	// one embed compute, with the other jobs counted in
+	// Stats.Coalesced.
+	Coalesce CoalesceMode
 	// Options overrides the embedding options (host height, strict
 	// mode); nil means core.DefaultOptions().  One option set per
 	// engine keeps the cache sound: a cached result is only reused
@@ -64,9 +104,58 @@ type Config struct {
 	DeriveHypercube bool
 }
 
+// normalize resolves every default and clamp in one place and returns
+// the fully resolved configuration New runs with: Workers > 0,
+// CacheSize > 0 (or exactly -1 when caching is disabled), CacheShards a
+// power of two in [1, min(CacheSize, MaxCacheShards)] (or 0 when
+// caching is disabled), and Coalesce either CoalesceOn or CoalesceOff.
+func (c Config) normalize() Config {
+	out := c
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case out.CacheSize == 0:
+		out.CacheSize = DefaultCacheSize
+	case out.CacheSize < 0:
+		out.CacheSize = -1
+	}
+	if out.Coalesce == CoalesceDefault {
+		out.Coalesce = CoalesceOn
+	}
+	if out.CacheSize < 0 {
+		out.CacheShards = 0
+		return out
+	}
+	shards := out.CacheShards
+	if shards <= 0 {
+		// A few shards per worker keeps same-shard collisions between
+		// concurrently-processing workers rare without ballooning the
+		// fixed footprint on small machines.
+		shards = 4 * out.Workers
+	}
+	pow := 1
+	for pow < shards && pow < MaxCacheShards {
+		pow <<= 1
+	}
+	// Every shard must hold at least one entry, or capacity would be
+	// silently lost: CacheShards never exceeds CacheSize.
+	for pow > out.CacheSize {
+		pow >>= 1
+	}
+	if pow < 1 {
+		pow = 1
+	}
+	out.CacheShards = pow
+	return out
+}
+
 // BatchItem is the outcome of one guest tree.  Exactly one of Result and
 // Err is set.  For EmbedBatch, Index is the position in the input slice;
-// for Submit it is the submission number returned by Submit.
+// for Submit it is the submission number returned by Submit.  CacheHit
+// marks results remapped from the canonical-tree cache; Coalesced marks
+// results remapped from a concurrent leader's compute (a singleflight
+// wait, not a cache lookup).
 type BatchItem struct {
 	Index     int
 	Tree      *bintree.Tree
@@ -74,18 +163,24 @@ type BatchItem struct {
 	Injective *core.InjectiveResult
 	Hypercube *core.HypercubeResult
 	CacheHit  bool
+	Coalesced bool
 	Err       error
 }
 
 // Stats is a point-in-time snapshot of the engine counters.
 type Stats struct {
-	Workers    int
-	Hits       int64 // cache hits answered by remapping
-	Misses     int64 // cache lookups that ran the full embedder
-	InFlight   int64 // jobs on a worker right now
-	Submitted  int64 // jobs accepted (batch + streaming)
-	Completed  int64 // jobs finished, including errors
-	Errors     int64 // jobs finished with a non-nil Err
+	Workers   int
+	Shards    int   // cache shards (0 when caching is disabled)
+	CacheCap  int   // total cache capacity across shards (-1 when disabled)
+	Hits      int64 // cache hits answered by remapping
+	Misses    int64 // lookups that ran the full embedder (flight leaders included)
+	Coalesced int64 // jobs that waited on a concurrent identical compute instead of running one
+	Evictions int64 // cache entries evicted across all shards
+	InFlight  int64 // jobs on a worker right now
+	Submitted int64 // jobs accepted (batch + streaming)
+	Completed int64 // jobs finished, including errors
+	Errors    int64 // jobs finished with a non-nil Err
+
 	EmbedNanos int64 // cumulative wall time inside core.EmbedXTree
 	CacheLen   int   // embeddings currently cached
 	// Observability counters: where submitted work spends its time.
@@ -94,12 +189,14 @@ type Stats struct {
 	UptimeNanos    int64 // wall time since the engine started
 }
 
-// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+// HitRate returns the fraction of lookups answered without running the
+// embedder — cache hits plus coalesced waits — or 0 before any lookup.
 func (s Stats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
+	return float64(s.Hits+s.Coalesced) / float64(total)
 }
 
 // Utilization returns the fraction of total worker-seconds spent
@@ -128,12 +225,17 @@ func (s Stats) AvgQueueWait() time.Duration {
 // CacheHits returns the cache hits answered by remapping.
 func (s Stats) CacheHits() int64 { return s.Hits }
 
-// CacheMisses returns the cache lookups that ran the full embedder.
+// CacheMisses returns the lookups that ran the full embedder.
 func (s Stats) CacheMisses() int64 { return s.Misses }
 
+// CoalescedWaits returns the jobs answered by waiting on a concurrent
+// identical compute (singleflight) instead of running their own.
+func (s Stats) CoalescedWaits() int64 { return s.Coalesced }
+
 // Lookups returns the total cache lookups.  By construction every lookup
-// is exactly a hit or a miss: Lookups() == CacheHits() + CacheMisses().
-func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+// is exactly a hit, a miss that computed, or a coalesced wait:
+// Lookups() == CacheHits() + CacheMisses() + CoalescedWaits().
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses + s.Coalesced }
 
 // QueueDepth returns the jobs accepted but not yet on a worker: queued
 // work waiting for capacity.  Clamped at 0 — the counters are sampled
@@ -158,11 +260,14 @@ type job struct {
 // Engine is a concurrent batch embedder.  All methods are safe for
 // concurrent use.
 type Engine struct {
-	opts    core.Options
-	derInj  bool
-	derHc   bool
-	workers int
-	cache   *lru // nil when caching is disabled
+	opts     core.Options
+	derInj   bool
+	derHc    bool
+	workers  int
+	shards   int
+	cacheCap int
+	cache    *shardedLRU // nil when caching is disabled
+	flights  *coalescer  // nil when coalescing is disabled
 
 	mu     sync.RWMutex // guards closed and sends on jobs
 	closed bool
@@ -173,42 +278,42 @@ type Engine struct {
 	subMu     sync.Mutex // serializes Submit so indexes stay gapless
 	nextIndex atomic.Int64
 
-	hits, misses, inFlight       atomic.Int64
+	hits, misses, coalesced      atomic.Int64
+	inFlight                     atomic.Int64
 	submitted, completed, errCnt atomic.Int64
 	embedNanos                   atomic.Int64
 	queueWaitNanos, busyNanos    atomic.Int64
 	started                      time.Time
 }
 
-// New starts an engine with the given configuration.  Callers own the
-// engine and must Close it to release the workers.
+// New starts an engine with the given configuration (resolved through
+// Config.normalize).  Callers own the engine and must Close it to
+// release the workers.
 func New(cfg Config) *Engine {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	size := cfg.CacheSize
-	if size == 0 {
-		size = DefaultCacheSize
-	}
+	cfg = cfg.normalize()
 	opts := core.DefaultOptions()
 	if cfg.Options != nil {
 		opts = *cfg.Options
 	}
 	e := &Engine{
-		opts:    opts,
-		derInj:  cfg.DeriveInjective,
-		derHc:   cfg.DeriveHypercube,
-		workers: workers,
-		jobs:    make(chan job, 4*workers),
-		results: make(chan BatchItem, 4*workers),
-		started: time.Now(),
+		opts:     opts,
+		derInj:   cfg.DeriveInjective,
+		derHc:    cfg.DeriveHypercube,
+		workers:  cfg.Workers,
+		shards:   cfg.CacheShards,
+		cacheCap: cfg.CacheSize,
+		jobs:     make(chan job, 4*cfg.Workers),
+		results:  make(chan BatchItem, 4*cfg.Workers),
+		started:  time.Now(),
 	}
-	if size > 0 {
-		e.cache = newLRU(size)
+	if cfg.CacheSize > 0 {
+		e.cache = newShardedLRU(cfg.CacheSize, cfg.CacheShards)
 	}
-	e.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	if cfg.Coalesce == CoalesceOn {
+		e.flights = newCoalescer()
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
 	}
 	go func() {
@@ -308,12 +413,17 @@ func (e *Engine) Results() <-chan BatchItem { return e.results }
 
 func (e *Engine) emit(it BatchItem) { e.results <- it }
 
-// Stats snapshots the engine counters.
+// Stats snapshots the engine counters.  Workers, Shards and CacheCap
+// report the resolved configuration (after Config.normalize), so two
+// engines built from equal configs report equal sizing.
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:    e.workers,
+		Shards:     e.shards,
+		CacheCap:   e.cacheCap,
 		Hits:       e.hits.Load(),
 		Misses:     e.misses.Load(),
+		Coalesced:  e.coalesced.Load(),
 		InFlight:   e.inFlight.Load(),
 		Submitted:  e.submitted.Load(),
 		Completed:  e.completed.Load(),
@@ -326,8 +436,21 @@ func (e *Engine) Stats() Stats {
 	}
 	if e.cache != nil {
 		s.CacheLen = e.cache.len()
+		s.Evictions = e.cache.evictions()
 	}
 	return s
+}
+
+// ShardStats snapshots every cache shard in index order: per-shard
+// length, capacity and hit/miss/eviction counters.  It returns nil when
+// caching is disabled.  The shard counters are lookup-level — a
+// coalesced waiter's initial miss counts against its shard even though
+// the engine-level Stats records it as Coalesced, not as a Miss.
+func (e *Engine) ShardStats() []ShardStat {
+	if e.cache == nil {
+		return nil
+	}
+	return e.cache.stats()
 }
 
 func (e *Engine) worker() {
@@ -351,8 +474,13 @@ func (e *Engine) worker() {
 	}
 }
 
-// process runs one job: context check, cache lookup, embedding, cache
-// fill, derived theorems.
+// embedXTree is the embed-compute entry point, a seam so tests can
+// block the compute deterministically (thundering-herd test) without
+// timing games.  Production code never changes it.
+var embedXTree = core.EmbedXTreeContext
+
+// process runs one job: context check, canonical encode, sharded cache
+// lookup, coalesced or direct embedding, cache fill, derived theorems.
 func (e *Engine) process(jb job) BatchItem {
 	item := BatchItem{Index: jb.index, Tree: jb.tree}
 	select {
@@ -366,15 +494,24 @@ func (e *Engine) process(jb job) BatchItem {
 		return item
 	}
 	parent := trace.FromContext(jb.ctx)
-	var code string
-	var order []int32
-	if e.cache != nil {
+	var (
+		code  string
+		order []int32
+		hash  uint64
+	)
+	// Both the cache and the coalescer key on the canonical code; with
+	// both disabled the encode is skipped entirely.
+	keyed := e.cache != nil || e.flights != nil
+	if keyed {
 		encStart := time.Now()
 		code, order = jb.tree.CanonicalCode()
+		hash = bintree.HashCode(code)
 		parent.Record("engine.canonical-encode", encStart, time.Now(),
 			trace.Int("n", int64(jb.tree.N())))
+	}
+	if e.cache != nil {
 		lookStart := time.Now()
-		ent, ok := e.cache.get(code)
+		ent, ok := e.cache.get(hash, code)
 		parent.Record("engine.cache-lookup", lookStart, time.Now(),
 			trace.Int("hit", b2i(ok)))
 		if ok {
@@ -383,22 +520,81 @@ func (e *Engine) process(jb job) BatchItem {
 			item.CacheHit = true
 			return e.derive(jb.ctx, item)
 		}
-		e.misses.Add(1)
 	}
-	start := time.Now()
-	csp := parent.Child("engine.embed-compute")
-	res, err := core.EmbedXTreeContext(trace.ContextWithSpan(jb.ctx, csp), jb.tree, e.opts)
-	csp.End()
-	e.embedNanos.Add(time.Since(start).Nanoseconds())
+	if e.flights == nil {
+		if keyed {
+			e.misses.Add(1)
+		}
+		ent, err := e.compute(jb.ctx, jb.tree, code, hash, order)
+		if err != nil {
+			item.Err = err
+			return item
+		}
+		item.Result = ent.res
+		return e.derive(jb.ctx, item)
+	}
+	fl, leader := e.flights.lead(code)
+	if !leader {
+		e.coalesced.Add(1)
+		waitStart := time.Now()
+		select {
+		case <-fl.done:
+		case <-jb.ctx.Done():
+			item.Err = jb.ctx.Err()
+			return item
+		}
+		parent.Record("engine.coalesce-wait", waitStart, time.Now())
+		if fl.err != nil {
+			item.Err = fl.err
+			return item
+		}
+		item.Result = remap(jb.tree, order, fl.ent)
+		item.Coalesced = true
+		return e.derive(jb.ctx, item)
+	}
+	// Leader: double-check the cache — an earlier flight may have
+	// filled it between this job's lookup and winning leadership.
+	if e.cache != nil {
+		if ent, ok := e.cache.get(hash, code); ok {
+			e.flights.finish(code, fl, ent, nil)
+			e.hits.Add(1)
+			item.Result = remap(jb.tree, order, ent)
+			item.CacheHit = true
+			return e.derive(jb.ctx, item)
+		}
+	}
+	e.misses.Add(1)
+	// The compute is owed to every waiter on the flight, so it runs
+	// detached from the leader's own cancellation; the leader's trace
+	// span still parents the embed phases (values survive the detach).
+	ent, err := e.compute(context.WithoutCancel(jb.ctx), jb.tree, code, hash, order)
+	e.flights.finish(code, fl, ent, err)
 	if err != nil {
 		item.Err = err
 		return item
 	}
-	item.Result = res
-	if e.cache != nil {
-		e.cache.put(code, &cacheEntry{res: res, order: order})
-	}
+	item.Result = ent.res
 	return e.derive(jb.ctx, item)
+}
+
+// compute runs the embedder and publishes the produced entry to the
+// cache.  order is the guest's own canonical pre-order, so ent.res pairs
+// with it for later remapping onto isomorphic trees.
+func (e *Engine) compute(ctx context.Context, t *bintree.Tree, code string, hash uint64, order []int32) (*cacheEntry, error) {
+	parent := trace.FromContext(ctx)
+	start := time.Now()
+	csp := parent.Child("engine.embed-compute")
+	res, err := embedXTree(trace.ContextWithSpan(ctx, csp), t, e.opts)
+	csp.End()
+	e.embedNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+	ent := &cacheEntry{res: res, order: order}
+	if e.cache != nil {
+		e.cache.put(hash, code, ent)
+	}
+	return ent, nil
 }
 
 func b2i(b bool) int64 {

@@ -51,7 +51,9 @@ func relabel(t testing.TB, tr *bintree.Tree, seed int64) *bintree.Tree {
 }
 
 func TestBatchMatchesSerial(t *testing.T) {
-	e := New(Config{Workers: 4, CacheSize: -1})
+	// Cache and coalescing both off: the fully unkeyed path, where the
+	// engine never computes a canonical code and counts no lookups.
+	e := New(Config{Workers: 4, CacheSize: -1, Coalesce: CoalesceOff})
 	defer e.Close()
 	var trees []*bintree.Tree
 	for seed := int64(0); seed < 6; seed++ {
@@ -161,7 +163,9 @@ func TestCacheSecondPassHitRate(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	e := New(Config{Workers: 1, CacheSize: 2})
+	// One shard: eviction order is global LRU.  Shard-local eviction is
+	// covered by TestShardedLRUEvictionOrder in shard_test.go.
+	e := New(Config{Workers: 1, CacheSize: 2, CacheShards: 1})
 	defer e.Close()
 	ctx := context.Background()
 	// Three pairwise non-isomorphic shapes (a zigzag is just a relabeled

@@ -1,0 +1,185 @@
+package engine
+
+// shard.go is the sharded canonical-tree cache.  The PR 1 cache was one
+// mutex-guarded LRU: correct, but every lookup — even a 100%-hit-rate
+// stream of already-cached shapes — serialized on that mutex, which is
+// exactly the ceiling BENCH_serve.json showed under concurrent load.
+//
+// The cache is now striped across a power-of-two number of independent
+// shards selected by bintree.HashCode of the canonical code (the same
+// hash CanonicalHash returns).  Isomorphic trees share a canonical code,
+// hence a hash, hence a shard — they still collapse to one cached
+// embedding — while unrelated shapes land on different shards and stop
+// contending on one lock.  Within a shard, keys are the full canonical
+// codes, so a hash collision can never surface a wrong embedding.
+//
+// The hit path is lock-light: a get takes only the shard's read lock for
+// the map lookup and publishes recency by storing a globally increasing
+// logical-clock stamp into the entry with one atomic store — no list
+// splicing, no write lock, so hits on the same shard proceed in
+// parallel.  Exact LRU order is preserved: stamps are strictly
+// increasing per access, and eviction (which already holds the shard's
+// write lock, on the rare fill path) removes the minimum-stamp entry.
+// The scan is O(shard capacity), but shard capacities are small
+// (CacheSize/shards) and the scan runs only on inserts into a full
+// shard, never on hits.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xtreesim/internal/core"
+)
+
+// cacheEntry memoizes one embedding: the Theorem 1 result computed for
+// some guest together with that guest's canonical pre-order, which is
+// everything needed to transfer the assignment onto any isomorphic
+// newcomer (see remap in engine.go).
+type cacheEntry struct {
+	res   *core.Result
+	order []int32
+}
+
+// ShardStat is a point-in-time snapshot of one cache shard, surfaced by
+// Engine.ShardStats for the /metrics per-shard gauges.
+type ShardStat struct {
+	Len       int   // embeddings currently cached in this shard
+	Cap       int   // shard capacity (the Σ over shards is CacheSize)
+	Hits      int64 // lookups answered by this shard
+	Misses    int64 // lookups that found nothing here (incl. coalesced waiters)
+	Evictions int64 // entries evicted to stay within Cap
+}
+
+// shardedLRU stripes an exact-LRU map across power-of-two shards.
+type shardedLRU struct {
+	clock  atomic.Int64 // global logical access clock; larger = more recent
+	mask   uint64       // len(shards) - 1
+	shards []*lruShard
+}
+
+type lruShard struct {
+	hits, misses, evictions atomic.Int64
+
+	mu  sync.RWMutex
+	cap int
+	m   map[string]*shardEntry
+}
+
+type shardEntry struct {
+	stamp atomic.Int64 // last-access logical time
+	ent   *cacheEntry  // guarded by the shard lock (read under RLock)
+}
+
+// newShardedLRU builds a cache of total capacity spread over nshards
+// shards.  nshards must be a power of two in [1, capacity]
+// (Config.normalize guarantees this); the remainder capacity%nshards is
+// distributed one entry each to the first shards so ΣCap == capacity
+// exactly — the memory bound the configuration promises.
+func newShardedLRU(capacity, nshards int) *shardedLRU {
+	c := &shardedLRU{
+		mask:   uint64(nshards - 1),
+		shards: make([]*lruShard, nshards),
+	}
+	base, extra := capacity/nshards, capacity%nshards
+	for i := range c.shards {
+		capI := base
+		if i < extra {
+			capI++
+		}
+		c.shards[i] = &lruShard{cap: capI, m: make(map[string]*shardEntry, capI)}
+	}
+	return c
+}
+
+func (c *shardedLRU) shard(hash uint64) *lruShard { return c.shards[hash&c.mask] }
+
+// get returns the entry for key, refreshing its recency.  hash must be
+// bintree.HashCode(key).
+func (c *shardedLRU) get(hash uint64, key string) (*cacheEntry, bool) {
+	s := c.shard(hash)
+	s.mu.RLock()
+	se, ok := s.m[key]
+	var ent *cacheEntry
+	if ok {
+		ent = se.ent
+	}
+	s.mu.RUnlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	// The stamp store races only with other atomic stamp accesses; a
+	// stamp written to a just-evicted entry is harmless.
+	se.stamp.Store(c.clock.Add(1))
+	s.hits.Add(1)
+	return ent, true
+}
+
+// put inserts or refreshes key, evicting the shard's least recently used
+// entry beyond the shard capacity.
+func (c *shardedLRU) put(hash uint64, key string, ent *cacheEntry) {
+	s := c.shard(hash)
+	stamp := c.clock.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if se, ok := s.m[key]; ok {
+		se.ent = ent
+		se.stamp.Store(stamp)
+		return
+	}
+	if s.cap <= 0 {
+		return
+	}
+	if len(s.m) >= s.cap {
+		var victimKey string
+		var victim *shardEntry
+		for k, se := range s.m {
+			if victim == nil || se.stamp.Load() < victim.stamp.Load() {
+				victim, victimKey = se, k
+			}
+		}
+		delete(s.m, victimKey)
+		s.evictions.Add(1)
+	}
+	se := &shardEntry{ent: ent}
+	se.stamp.Store(stamp)
+	s.m[key] = se
+}
+
+// len returns the number of cached embeddings across all shards.
+func (c *shardedLRU) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// evictions returns the total entries evicted across all shards.
+func (c *shardedLRU) evictions() int64 {
+	var n int64
+	for _, s := range c.shards {
+		n += s.evictions.Load()
+	}
+	return n
+}
+
+// stats snapshots every shard in index order.
+func (c *shardedLRU) stats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.RLock()
+		n := len(s.m)
+		s.mu.RUnlock()
+		out[i] = ShardStat{
+			Len:       n,
+			Cap:       s.cap,
+			Hits:      s.hits.Load(),
+			Misses:    s.misses.Load(),
+			Evictions: s.evictions.Load(),
+		}
+	}
+	return out
+}

@@ -37,13 +37,15 @@ func TestStatsGettersConsistent(t *testing.T) {
 		defer wg.Done()
 		for {
 			s := e.Stats()
-			if s.Lookups() != s.CacheHits()+s.CacheMisses() {
-				t.Errorf("lookups %d != hits %d + misses %d", s.Lookups(), s.CacheHits(), s.CacheMisses())
+			if s.Lookups() != s.CacheHits()+s.CacheMisses()+s.CoalescedWaits() {
+				t.Errorf("lookups %d != hits %d + misses %d + coalesced %d",
+					s.Lookups(), s.CacheHits(), s.CacheMisses(), s.CoalescedWaits())
 			}
 			if s.QueueDepth() < 0 {
 				t.Errorf("queue depth %d < 0", s.QueueDepth())
 			}
 			if s.CacheHits() < prev.CacheHits() || s.CacheMisses() < prev.CacheMisses() ||
+				s.CoalescedWaits() < prev.CoalescedWaits() ||
 				s.Submitted < prev.Submitted || s.Completed < prev.Completed {
 				t.Errorf("counters went backwards: %+v then %+v", prev, s)
 			}
@@ -73,8 +75,8 @@ func TestStatsGettersConsistent(t *testing.T) {
 		t.Fatalf("repeat-heavy stream should produce both hits and misses: hits=%d misses=%d",
 			s.CacheHits(), s.CacheMisses())
 	}
-	if s.CacheMisses() < 3 {
-		t.Fatalf("three distinct shapes need >= 3 misses, got %d", s.CacheMisses())
+	if s.CacheMisses() != 3 {
+		t.Fatalf("three distinct shapes with coalescing on should compute exactly 3 times, got %d", s.CacheMisses())
 	}
 	if s.QueueDepth() != 0 || s.InFlight != 0 {
 		t.Fatalf("drained engine reports queue depth %d, in-flight %d", s.QueueDepth(), s.InFlight)

@@ -114,8 +114,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "xtreesim_engine_cache_hits_total %d\n", es.Hits)
 	writeHelp(&b, "xtreesim_engine_cache_misses_total", "counter", "Batch-engine cache misses (full embeddings run).")
 	fmt.Fprintf(&b, "xtreesim_engine_cache_misses_total %d\n", es.Misses)
+	writeHelp(&b, "xtreesim_engine_coalesced_total", "counter", "Jobs answered by waiting on another job's in-flight embedding (request coalescing).")
+	fmt.Fprintf(&b, "xtreesim_engine_coalesced_total %d\n", es.Coalesced)
+	writeHelp(&b, "xtreesim_engine_cache_evictions_total", "counter", "Cache entries evicted to admit newer embeddings.")
+	fmt.Fprintf(&b, "xtreesim_engine_cache_evictions_total %d\n", es.Evictions)
 	writeHelp(&b, "xtreesim_engine_cache_entries", "gauge", "Embeddings currently cached.")
 	fmt.Fprintf(&b, "xtreesim_engine_cache_entries %d\n", es.CacheLen)
+	writeHelp(&b, "xtreesim_engine_cache_capacity", "gauge", "Cache capacity across all shards.")
+	fmt.Fprintf(&b, "xtreesim_engine_cache_capacity %d\n", es.CacheCap)
+	writeHelp(&b, "xtreesim_engine_cache_shards", "gauge", "Lock shards striping the canonical-tree cache.")
+	fmt.Fprintf(&b, "xtreesim_engine_cache_shards %d\n", es.Shards)
+	writeHelp(&b, "xtreesim_engine_cache_shard_entries", "gauge", "Embeddings cached per shard.")
+	for i, sh := range s.engine.ShardStats() {
+		fmt.Fprintf(&b, "xtreesim_engine_cache_shard_entries{shard=\"%d\"} %d\n", i, sh.Len)
+	}
 	writeHelp(&b, "xtreesim_engine_jobs_submitted_total", "counter", "Jobs accepted by the engine.")
 	fmt.Fprintf(&b, "xtreesim_engine_jobs_submitted_total %d\n", es.Submitted)
 	writeHelp(&b, "xtreesim_engine_jobs_completed_total", "counter", "Jobs finished by the engine, including errors.")

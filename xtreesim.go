@@ -331,17 +331,25 @@ func Baseline(t *Tree, m BaselineMethod, opts ...BaselineOption) (*BaselineResul
 	}
 }
 
+// BaselineDFSPack fills the optimal host 16-per-vertex in preorder.
+//
 // Deprecated: use Baseline(t, MethodDFSPack).
 func BaselineDFSPack(t *Tree) *BaselineResult { return baseline.DFSPack(t) }
 
+// BaselineBFSPack fills the optimal host 16-per-vertex in BFS order.
+//
 // Deprecated: use Baseline(t, MethodBFSPack).
 func BaselineBFSPack(t *Tree) *BaselineResult { return baseline.BFSPack(t) }
 
+// BaselineNaive follows the guest's own child edges down X(h).
+//
 // Deprecated: use Baseline(t, MethodNaive, WithBaselineHeight(h)).
 func BaselineNaive(t *Tree, h int) *BaselineResult {
 	return baseline.NaiveTree(t, h)
 }
 
+// BaselineRandom packs a seeded uniformly random permutation.
+//
 // Deprecated: use Baseline(t, MethodRandom, WithBaselineSeed(seed)).
 func BaselineRandom(t *Tree, seed int64) *BaselineResult {
 	return baseline.RandomPack(t, rand.New(rand.NewSource(seed)))
