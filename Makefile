@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke
+.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke
 
 all: vet test
 
@@ -98,6 +98,15 @@ phase-bench:
 # E18 only: serving latency/throughput sweep; writes BENCH_serve.json.
 serve-bench:
 	$(GO) run ./cmd/xtree-bench -exp e18
+
+# E20 + the perf gate (also the CI perf job): the exact AllocsPerRun
+# budget on the default-option embed, then the E20 sweep diffed against
+# the committed BENCH_embed.json — any configuration more than 10% over
+# its baseline allocs/op fails.  Refresh the baseline by running
+# `go run ./cmd/xtree-bench -exp e20` and committing the file.
+embed-bench:
+	$(GO) test -run TestEmbedAllocBudget -v ./internal/core
+	$(GO) run ./cmd/xtree-bench -exp e20 -embed-out '' -embed-baseline BENCH_embed.json
 
 examples:
 	$(GO) run ./examples/quickstart

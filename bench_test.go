@@ -184,7 +184,10 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkImbalanceWorstCase(b *testing.B) {
 	tree := mustTree(b, xtreesim.FamilyPath, int(xtreesim.Capacity(8)), 0)
 	for i := 0; i < b.N; i++ {
-		res := mustEmbed(b, tree)
+		res, err := xtreesim.Embed(tree, xtreesim.WithImbalanceStats())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if last := res.Stats.MaxImbalance[len(res.Stats.MaxImbalance)-1]; last > 1 {
 			b.Fatalf("imbalance %d", last)
 		}

@@ -26,10 +26,10 @@ func e11Ablation() {
 		name string
 		opts core.Options
 	}{
-		{"full", core.Options{Height: -1}},
-		{"no-adjust", core.Options{Height: -1, DisableAdjust: true}},
-		{"no-leveling", core.Options{Height: -1, DisableLeveling: true}},
-		{"no-adjust+no-leveling", core.Options{Height: -1, DisableAdjust: true, DisableLeveling: true}},
+		{"full", core.Options{Height: -1, ImbalanceStats: true}},
+		{"no-adjust", core.Options{Height: -1, DisableAdjust: true, ImbalanceStats: true}},
+		{"no-leveling", core.Options{Height: -1, DisableLeveling: true, ImbalanceStats: true}},
+		{"no-adjust+no-leveling", core.Options{Height: -1, DisableAdjust: true, DisableLeveling: true, ImbalanceStats: true}},
 	}
 	for _, r := range []int{6, 8} {
 		if r > *maxR {

@@ -1,0 +1,170 @@
+package main
+
+// embedbench.go is experiment E20: the embedder's allocation and latency
+// profile, and the perf gate built on it.  It measures the cold
+// default-option embed (families × heights) with testing.Benchmark —
+// wall time, bytes and allocations per op — plus the warm path through
+// the engine's canonical cache, and writes the numbers to
+// BENCH_embed.json so successive PRs are compared number against number.
+// With -embed-baseline the run additionally diffs its cold allocation
+// counts against a committed baseline file and exits nonzero when any
+// configuration regresses by more than embedRegressionPct — the CI perf
+// job runs exactly that.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/core"
+	"xtreesim/internal/engine"
+)
+
+var (
+	embedBenchOut = flag.String("embed-out", "BENCH_embed.json", "e20: write the embed benchmark JSON here ('' disables)")
+	embedBaseline = flag.String("embed-baseline", "", "e20: compare cold allocs/op against this baseline JSON and fail on regression")
+)
+
+// embedRegressionPct is the allowed cold allocs/op growth over the
+// baseline before the gate fails.  Allocation counts are nearly exact
+// (unlike wall time), so 10% is generous: it absorbs Go-version and
+// map-layout drift while still catching any real churn reintroduced on
+// the hot path.
+const embedRegressionPct = 10
+
+// embedBenchPoint is one measured configuration in BENCH_embed.json.
+type embedBenchPoint struct {
+	Family      string  `json:"family"`
+	R           int     `json:"r"`
+	N           int     `json:"n"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	NsPerNode   float64 `json:"ns_per_node"`
+}
+
+type embedBenchFile struct {
+	Bench  string `json:"bench"`
+	Config struct {
+		Seed   int64 `json:"seed"`
+		NumCPU int   `json:"num_cpu"`
+	} `json:"config"`
+	Results []embedBenchPoint `json:"results"`
+}
+
+func e20EmbedPerf() {
+	const seed = 1
+	header("E20 — embedder allocation/latency profile (default options, cold vs engine-warm)",
+		"family", "r", "n", "ns/op", "B/op", "allocs/op", "warm ns/op", "ns/node")
+
+	out := embedBenchFile{Bench: "embed"}
+	out.Config.Seed = seed
+	out.Config.NumCPU = runtime.NumCPU()
+
+	for _, fam := range []bintree.Family{bintree.FamilyRandom, bintree.FamilyPath} {
+		for _, r := range []int{5, 6, 7} {
+			if r > *maxR {
+				continue
+			}
+			n := int(core.Capacity(r))
+			tr, err := bintree.Generate(fam, n, rng(seed))
+			check(err)
+
+			cold := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.EmbedXTree(tr, core.DefaultOptions()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+
+			// Warm: the serving path after the first request — the
+			// canonical cache answers, the embedder never runs.
+			eng := engine.New(engine.Config{Workers: 1})
+			if it := eng.EmbedBatch(context.Background(), []*bintree.Tree{tr})[0]; it.Err != nil {
+				check(it.Err)
+			}
+			warm := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if it := eng.EmbedBatch(context.Background(), []*bintree.Tree{tr})[0]; it.Err != nil {
+						b.Fatal(it.Err)
+					}
+				}
+			})
+			eng.Close()
+
+			p := embedBenchPoint{
+				Family:      string(fam),
+				R:           r,
+				N:           n,
+				NsPerOp:     cold.NsPerOp(),
+				BytesPerOp:  cold.AllocedBytesPerOp(),
+				AllocsPerOp: cold.AllocsPerOp(),
+				WarmNsPerOp: warm.NsPerOp(),
+				NsPerNode:   float64(cold.NsPerOp()) / float64(n),
+			}
+			out.Results = append(out.Results, p)
+			row(p.Family, p.R, p.N, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.WarmNsPerOp,
+				fmt.Sprintf("%.0f", p.NsPerNode))
+		}
+	}
+
+	if *embedBenchOut != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*embedBenchOut, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", *embedBenchOut)
+	}
+	if *embedBaseline != "" {
+		check(compareEmbedBaseline(*embedBaseline, out))
+	}
+}
+
+// compareEmbedBaseline diffs the run's cold allocation counts against
+// the committed baseline and returns an error when any configuration
+// regressed past the gate.  Configurations present on only one side are
+// reported but never fail the gate, so the sweep can grow.
+func compareEmbedBaseline(path string, cur embedBenchFile) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("embed baseline: %w", err)
+	}
+	var base embedBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("embed baseline %s: %w", path, err)
+	}
+	baseline := map[string]int64{}
+	for _, p := range base.Results {
+		baseline[fmt.Sprintf("%s/r%d", p.Family, p.R)] = p.AllocsPerOp
+	}
+	var failures []string
+	for _, p := range cur.Results {
+		key := fmt.Sprintf("%s/r%d", p.Family, p.R)
+		want, ok := baseline[key]
+		if !ok {
+			fmt.Printf("perf gate: %s has no baseline (new configuration, skipped)\n", key)
+			continue
+		}
+		limit := want + (want*embedRegressionPct+99)/100
+		status := "ok"
+		if p.AllocsPerOp > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (limit %d)",
+				key, p.AllocsPerOp, want, limit))
+		}
+		fmt.Printf("perf gate: %s allocs/op %d vs baseline %d (limit %d): %s\n",
+			key, p.AllocsPerOp, want, limit, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("embed perf gate: %d regression(s) over %d%%: %v",
+			len(failures), embedRegressionPct, failures)
+	}
+	return nil
+}

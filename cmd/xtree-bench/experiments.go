@@ -309,7 +309,9 @@ func e8Imbalance() {
 			continue
 		}
 		tr := bintree.Path(int(xtreesim.Capacity(r)))
-		res, err := core.EmbedXTree(tr, core.DefaultOptions())
+		opts := core.DefaultOptions()
+		opts.ImbalanceStats = true
+		res, err := core.EmbedXTree(tr, opts)
 		check(err)
 		within, zeroClean := true, true
 		for i1, rowv := range res.Stats.ImbalanceMatrix {

@@ -21,7 +21,10 @@ import (
 	"xtreesim/internal/server"
 )
 
-var serveBenchOut = flag.String("serve-out", "BENCH_serve.json", "e18: write the serving benchmark JSON here ('' disables)")
+var (
+	serveBenchOut  = flag.String("serve-out", "BENCH_serve.json", "e18: write the serving benchmark JSON here ('' disables)")
+	serveBenchSeed = flag.Int64("serve-seed", 0, "e18: master seed for the loadgen request streams (0 = the fixed legacy streams)")
+)
 
 // serveBenchPoint is one row of the sweep, as recorded in BENCH_serve.json.
 type serveBenchPoint struct {
@@ -45,6 +48,7 @@ type serveBenchFile struct {
 		Family         string `json:"family"`
 		DistinctShapes int    `json:"distinct_shapes"`
 		RequestsPerLvl int    `json:"requests_per_level"`
+		Seed           int64  `json:"seed"`
 		EngineWorkers  int    `json:"engine_workers"`
 		CacheShards    int    `json:"cache_shards"`
 		Coalesce       bool   `json:"coalesce"`
@@ -83,6 +87,7 @@ func e18Serving() {
 	if _, err := server.RunLoad(server.LoadConfig{
 		BaseURL: s.URL(), Concurrency: 2, Requests: 2 * shapes,
 		TreeN: treeN, Family: family, DistinctShapes: shapes,
+		Seed: *serveBenchSeed,
 	}); err != nil {
 		check(err)
 	}
@@ -95,6 +100,7 @@ func e18Serving() {
 	out.Config.Family = family
 	out.Config.DistinctShapes = shapes
 	out.Config.RequestsPerLvl = perLvl
+	out.Config.Seed = *serveBenchSeed
 	startStats := s.Stats()
 	out.Config.EngineWorkers = startStats.Workers
 	out.Config.CacheShards = startStats.Shards
@@ -109,6 +115,7 @@ func e18Serving() {
 			TreeN:          treeN,
 			Family:         family,
 			DistinctShapes: shapes,
+			Seed:           *serveBenchSeed,
 		})
 		check(err)
 		hitPct := 0.0

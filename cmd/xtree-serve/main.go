@@ -43,6 +43,7 @@ func main() {
 		cache       = flag.Int("cache", 0, "engine cache entries (0 = default, negative = disabled)")
 		cacheShards = flag.Int("cache-shards", 0, "cache lock shards (0 = auto: ~4x workers, rounded to a power of two)")
 		coalesce    = flag.Bool("coalesce", true, "coalesce concurrent requests for isomorphic trees into one embedding")
+		parallel    = flag.Int("parallel", 0, "goroutines per embed for the ADJUST/SPLIT fan-out (0 = serial; results are identical for every value)")
 
 		maxConcurrent = flag.Int("max-concurrent", 0, "API requests processed at once (0 = one per CPU)")
 		maxQueue      = flag.Int("queue", -1, "admission wait-queue length (-1 = 4x max-concurrent, 0 = shed when busy)")
@@ -62,6 +63,7 @@ func main() {
 		treeN     = flag.Int("tree-n", 1008, "loadgen: guest tree size")
 		shapes    = flag.Int("shapes", 8, "loadgen: distinct tree shapes in the mix")
 		tagTraces = flag.Bool("trace", false, "loadgen: tag every request with its own X-Trace-Id")
+		genSeed   = flag.Int64("seed", 0, "loadgen: master seed for the request streams (0 = the fixed legacy streams, for replaying historical runs)")
 
 		smoke      = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
 		traceSmoke = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
@@ -92,7 +94,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *loadgen:
-		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces); err != nil {
+		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces, *genSeed); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -108,6 +110,7 @@ func main() {
 				CacheSize:   *cache,
 				CacheShards: *cacheShards,
 				Coalesce:    coalesceMode,
+				Parallel:    *parallel,
 			},
 			MaxConcurrent:  *maxConcurrent,
 			MaxQueue:       *maxQueue,
@@ -153,7 +156,7 @@ func serve(cfg server.Config, grace time.Duration) error {
 // runLoadgen drives url (or a freshly booted local server when url is
 // empty) and prints the client-side report plus the server's engine
 // counters when it owns the server.
-func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool) error {
+func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool, seed int64) error {
 	var s *server.Server
 	if url == "" {
 		s = server.New(server.Config{})
@@ -175,6 +178,7 @@ func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool) e
 		TreeN:          treeN,
 		DistinctShapes: shapes,
 		Trace:          tagTraces,
+		Seed:           seed,
 	})
 	if err != nil {
 		return err

@@ -73,7 +73,7 @@ func smokeServePath() error {
 	}
 
 	resp, data, err := postEmbed(url, server.EmbedRequest{
-		Tree: &server.TreeSpec{Family: "random", N: 1008, Seed: 42},
+		Tree: &server.TreeSpec{Family: "random", N: 1008, Seed: server.Seed(42)},
 	})
 	if err != nil {
 		return err
@@ -133,13 +133,20 @@ func smokeShedding() error {
 		retryAfter string
 	}
 	outcomes := make(chan outcome, flood)
+	start := make(chan struct{})
 	for i := 0; i < flood; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
+			// Distinct seeds keep the requests from collapsing into one
+			// cache entry (or one coalesced compute), and the start
+			// barrier makes them hit the single admission slot together:
+			// without both, a fast embedder drains the flood one by one
+			// and nothing sheds.
 			raw, _ := json.Marshal(server.EmbedRequest{
-				Tree: &server.TreeSpec{Family: "random", N: 8000, Seed: 7},
+				Tree: &server.TreeSpec{Family: "random", N: 8000, Seed: server.Seed(int64(i) + 1)},
 			})
+			<-start
 			resp, err := http.Post(url+"/v1/embed", "application/json", bytes.NewReader(raw))
 			if err != nil {
 				outcomes <- outcome{status: -1}
@@ -148,8 +155,9 @@ func smokeShedding() error {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			outcomes <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
-		}()
+		}(i)
 	}
+	close(start)
 	wg.Wait()
 	close(outcomes)
 	var ok, shed int
@@ -190,7 +198,7 @@ func smokeGracefulDrain() error {
 		go func(seed int) {
 			defer wg.Done()
 			raw, _ := json.Marshal(server.EmbedRequest{
-				Tree: &server.TreeSpec{Family: "random", N: 4000, Seed: int64(seed)},
+				Tree: &server.TreeSpec{Family: "random", N: 4000, Seed: server.Seed(int64(seed))},
 			})
 			resp, err := http.Post(url+"/v1/embed", "application/json", bytes.NewReader(raw))
 			if err != nil {

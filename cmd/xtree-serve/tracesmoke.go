@@ -33,7 +33,7 @@ func runTraceSmoke() error {
 	// embedder (and its separator spans) must run.  n=150/seed=11 is a
 	// guest known to invoke Lemma 2.
 	raw, err := json.Marshal(server.SimulateRequest{
-		Tree:     &server.TreeSpec{Family: "random", N: 150, Seed: 11},
+		Tree:     &server.TreeSpec{Family: "random", N: 150, Seed: server.Seed(11)},
 		Workload: "broadcast",
 	})
 	if err != nil {

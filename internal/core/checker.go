@@ -62,3 +62,34 @@ func CheckInvariants(res *Result) error {
 	}
 	return nil
 }
+
+// checkAttachIdx verifies the attachment index invariant the eager
+// bookkeeping maintains: every indexed comp is alive and attached at the
+// vertex whose list holds it, attachLoad mirrors the attached mass
+// exactly, and — when final is set, i.e. after the final pass — both
+// structures are completely drained.  The old lazily-filtered index let
+// dead ids linger until the next lookup at that address; run() calls
+// this at the end of every embed so a regression fails loudly.
+func (e *embedder) checkAttachIdx(final bool) error {
+	for id := range e.attachIdx {
+		var sum int64
+		for _, c := range e.attachIdx[id] {
+			if c == nil || !c.alive {
+				return fmt.Errorf("core: dead component indexed at vertex id %d", id)
+			}
+			if c.attach.ID() != int64(id) {
+				return fmt.Errorf("core: component %d indexed at vertex id %d but attached at %v",
+					c.id, id, c.attach)
+			}
+			sum += int64(c.size)
+		}
+		if sum != e.attachLoad[id] {
+			return fmt.Errorf("core: attachLoad[%d] = %d, want %d", id, e.attachLoad[id], sum)
+		}
+		if final && len(e.attachIdx[id]) != 0 {
+			return fmt.Errorf("core: %d components still attached at vertex id %d after the final pass",
+				len(e.attachIdx[id]), id)
+		}
+	}
+	return nil
+}

@@ -59,6 +59,16 @@ type Options struct {
 	// DisableLeveling ablates SPLIT's final lemma-2 cut across the new
 	// horizontal edge (the "4 free places" step of the paper).
 	DisableLeveling bool
+	// ImbalanceStats enables the per-round A(j,i) instrumentation
+	// (Stats.MaxImbalance and Stats.ImbalanceMatrix).  Off by default:
+	// measuring the matrix costs one extra full weight pass per round,
+	// which the serving hot path should not pay.
+	ImbalanceStats bool
+	// Parallel is the number of goroutines the ADJUST and SPLIT phases
+	// fan out over within a round (the per-level alpha tasks own
+	// disjoint subtrees).  Values below 2 run serially.  The embedding
+	// produced is byte-identical for every Parallel value.
+	Parallel int
 	// Tracer, when non-nil, opens a root span per EmbedXTree call that
 	// arrives without one on its context (the facade WithTracing path).
 	// Calls that already carry a span — e.g. from the engine — record

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/bitstr"
@@ -19,12 +20,119 @@ import (
 // characteristic address char.  attach is the leaf of the current X-tree
 // level the component is attached to (ρ_i in the paper).
 type comp struct {
-	id      int32
+	id      int32 // unique flood marker (the value written into compOf)
+	ord     int64 // creation rank: (phase, task, seq) packed, see ordBase
 	size    int32
 	anchors []int32
 	char    bitstr.Addr
 	attach  bitstr.Addr
 	alive   bool
+}
+
+// ord packs a component's creation coordinates so that sorting by ord
+// reproduces the serial creation order regardless of how many goroutines
+// ran the phase: phases are strictly ordered, tasks (ADJUST/SPLIT alpha
+// indices) within a phase are strictly ordered, and creations within a
+// task are strictly ordered.  This is what makes Parallel > 1 embeddings
+// byte-identical to the serial ones — every tie-break that used to read
+// the global id counter reads ord instead.
+const (
+	ordSeqBits   = 22 // creations per task
+	ordAlphaBits = 32 // tasks per phase (alpha indices on one level)
+)
+
+func packOrd(phase int64, alphaIdx uint64) int64 {
+	return ((phase << ordAlphaBits) | int64(alphaIdx)) << ordSeqBits
+}
+
+// scratch is one worker's reusable arena.  Every buffer the per-round
+// procedures need lives here, so a warm embedder allocates (almost)
+// nothing per round, and the ADJUST/SPLIT fan-out can hand each
+// goroutine its own arena with no sharing.
+//
+// Ownership rules (see DESIGN.md):
+//   - a task owns the alpha subtree it was dispatched for; every comp it
+//     touches is attached inside that subtree, and every vertex it lays
+//     on is inside it too, so the shared laid/hostOf/compOf/loads arrays
+//     see disjoint writes;
+//   - killed comps go to the task's graveyard and are only recycled at
+//     task boundaries (drainGraveyard), so a caller may still read
+//     c.size after killing c;
+//   - stats are accumulated per scratch and merged at the end of the
+//     run, keeping the hot path free of shared counters.
+type scratch struct {
+	e *embedder
+
+	stats Stats       // merged into embedder.stats by mergeStats
+	span  *trace.Span // non-nil only on the serial path (scratch 0)
+	err   error       // first error of this worker's chunk
+
+	ordBase int64 // high bits of ord for comps created by the current task
+	ordSeq  int64 // per-task creation counter
+
+	// pref1/pref2 are the host vertices the current action lays nodes
+	// on.  floodNewComp prefers them on depth ties when picking a
+	// stretched remnant's characteristic address, which guarantees the
+	// remnant re-attaches inside the task's own subtree (every remnant
+	// is adjacent to a just-laid node, and nothing anywhere is laid
+	// deeper than the current round's leaves).
+	pref1, pref2 bitstr.Addr
+
+	nbuf    []int32 // guest adjacency
+	snap    []*comp // attachedAt snapshot
+	assign  []*comp // split's sorted assignment list
+	laidBuf []int32 // nodes laid by the current action
+	starts  []int32 // rebuild's remnant seeds
+	flood   []int32 // floodNewComp's DFS stack
+	charSet []bitstr.Addr
+
+	free      []*comp // recycled comp structs
+	graveyard []*comp // killed comps awaiting recycling
+	slab      []comp  // block-allocated backing for fresh comps
+
+	sep      separator.Builder
+	memberID int32            // component filter for memberFn
+	memberFn func(int32) bool // preallocated closure over memberID
+}
+
+func (sc *scratch) beginTask(phase int64, alphaIdx uint64) {
+	sc.ordBase = packOrd(phase, alphaIdx)
+	sc.ordSeq = 0
+}
+
+// newComp hands out a recycled (or fresh) comp struct with the next
+// unique id and the current task's next creation rank.
+func (sc *scratch) newComp() *comp {
+	id := sc.e.nextComp.Add(1) - 1
+	var c *comp
+	if n := len(sc.free); n > 0 {
+		c = sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		c.anchors = c.anchors[:0]
+	} else {
+		if len(sc.slab) == 0 {
+			sc.slab = make([]comp, 256)
+		}
+		c = &sc.slab[0]
+		sc.slab = sc.slab[1:]
+	}
+	c.id = id
+	c.ord = sc.ordBase + sc.ordSeq
+	sc.ordSeq++
+	c.size = 0
+	c.alive = true
+	return c
+}
+
+// drainGraveyard recycles the killed comps.  Only called between tasks:
+// within a task, callers may still read fields of comps they just killed
+// (split updates its running totals from c.size after moveCompWhole).
+func (sc *scratch) drainGraveyard() {
+	sc.free = append(sc.free, sc.graveyard...)
+	for i := range sc.graveyard {
+		sc.graveyard[i] = nil
+	}
+	sc.graveyard = sc.graveyard[:0]
 }
 
 type embedder struct {
@@ -37,10 +145,41 @@ type embedder struct {
 	hostOf []bitstr.Addr
 	loads  []int16 // indexed by host vertex id
 
-	comps     map[int32]*comp
-	compOf    []int32 // guest node -> comp id, -1 when laid
-	nextComp  int32
-	attachIdx map[bitstr.Addr][]int32 // attach addr -> comp ids (lazily filtered)
+	compOf   []int32 // guest node -> comp id, -1 when laid
+	nextComp atomic.Int32
+
+	// attachIdx maps host vertex id -> components attached there, kept
+	// eagerly exact: registerComp appends, detach removes in place, so a
+	// dead or moved comp never lingers in a list.  attachLoad mirrors
+	// the total attached mass per vertex, which turns computeWeights
+	// into a pure array pass.
+	attachIdx  [][]*comp
+	attachLoad []int64
+
+	scr []*scratch // scr[0] doubles as the serial-phase arena
+
+	// Budget table of ADJUST, dense by vertex id with generation tags:
+	// bumping budgetCur at the start of each round resets every budget
+	// to the default 4 without touching the arrays.
+	budgetVal []int32
+	budgetGen []uint32
+	budgetCur uint32
+
+	phase int64 // runLevel counter feeding comp.ord
+
+	wbuf        []int64 // computeWeights buffer
+	perLevelBuf []int64 // recordImbalance buffer
+
+	// finalQ is the final pass's FIFO worklist.  While collecting is
+	// set, registerComp appends every new comp, preserving creation
+	// order without the per-sweep collect-and-sort of the old code.
+	finalQ     []*comp
+	collecting bool
+
+	// findSlotFor scratch (the final pass is serial).
+	hostsBuf, candBuf, bfsQueue, xnbuf []bitstr.Addr
+	bfsSeen                            []uint32
+	bfsSeenCur                         uint32
 
 	stats Stats
 
@@ -48,28 +187,57 @@ type embedder struct {
 	// (separator calls, rounds, final pass); nil when unsampled, making
 	// every instrumentation site a nil check.
 	span *trace.Span
-
-	nbuf []int32 // scratch for guest adjacency
 }
 
 func newEmbedder(t *bintree.Tree, x *xtree.XTree, r int, opts Options) *embedder {
 	n := t.N()
+	nv := bitstr.NumVertices(r)
 	e := &embedder{
-		t:         t,
-		x:         x,
-		r:         r,
-		opts:      opts,
-		laid:      make([]bool, n),
-		hostOf:    make([]bitstr.Addr, n),
-		loads:     make([]int16, bitstr.NumVertices(r)),
-		comps:     make(map[int32]*comp),
-		compOf:    make([]int32, n),
-		attachIdx: make(map[bitstr.Addr][]int32),
+		t:          t,
+		x:          x,
+		r:          r,
+		opts:       opts,
+		laid:       make([]bool, n),
+		hostOf:     make([]bitstr.Addr, n),
+		loads:      make([]int16, nv),
+		compOf:     make([]int32, n),
+		attachIdx:  make([][]*comp, nv),
+		attachLoad: make([]int64, nv),
+		budgetVal:  make([]int32, nv),
+		budgetGen:  make([]uint32, nv),
+		bfsSeen:    make([]uint32, nv),
+		wbuf:       make([]int64, nv),
 	}
 	for i := range e.compOf {
 		e.compOf[i] = -1
 	}
+	p := opts.Parallel
+	if p < 1 {
+		p = 1
+	}
+	e.scr = make([]*scratch, p)
+	for i := range e.scr {
+		sc := &scratch{e: e}
+		sc.memberFn = func(v int32) bool {
+			return !e.laid[v] && e.compOf[v] == sc.memberID
+		}
+		e.scr[i] = sc
+	}
 	return e
+}
+
+// budgetAt reads the ADJUST placement budget of a host vertex for the
+// current round, defaulting to 4 (the paper's |S1|,|S2| ≤ 4).
+func (e *embedder) budgetAt(id int64) int {
+	if e.budgetGen[id] != e.budgetCur {
+		return 4
+	}
+	return int(e.budgetVal[id])
+}
+
+func (e *embedder) setBudget(id int64, v int) {
+	e.budgetGen[id] = e.budgetCur
+	e.budgetVal[id] = int32(v)
 }
 
 // cond3OK reports whether hosts a and b may carry adjacent guest nodes
@@ -83,14 +251,15 @@ func (e *embedder) cond3OK(a, b bitstr.Addr) bool {
 
 // layNode places guest node v on host vertex h, updating loads and
 // validating condition (3′) against every laid neighbor.
-func (e *embedder) layNode(v int32, h bitstr.Addr) error {
+func (sc *scratch) layNode(v int32, h bitstr.Addr) error {
+	e := sc.e
 	if e.laid[v] {
 		return fmt.Errorf("core: node %d laid twice", v)
 	}
-	e.nbuf = e.t.Neighbors(v, e.nbuf[:0])
-	for _, u := range e.nbuf {
+	sc.nbuf = e.t.Neighbors(v, sc.nbuf[:0])
+	for _, u := range sc.nbuf {
 		if e.laid[u] && !e.cond3OK(e.hostOf[u], h) {
-			e.stats.Cond3Violations++
+			sc.stats.Cond3Violations++
 			if e.opts.Strict {
 				return fmt.Errorf("core: condition (3') violated laying %d at %v (neighbor %d at %v)",
 					v, h, u, e.hostOf[u])
@@ -103,7 +272,7 @@ func (e *embedder) layNode(v int32, h bitstr.Addr) error {
 	id := h.ID()
 	e.loads[id]++
 	if int(e.loads[id]) > LoadTarget {
-		e.stats.Overflows++
+		sc.stats.Overflows++
 	}
 	return nil
 }
@@ -126,85 +295,100 @@ func (e *embedder) maxLoad() int {
 
 // registerComp files a freshly built component under its attach address.
 func (e *embedder) registerComp(c *comp) {
-	e.comps[c.id] = c
-	e.attachIdx[c.attach] = append(e.attachIdx[c.attach], c.id)
+	id := c.attach.ID()
+	e.attachIdx[id] = append(e.attachIdx[id], c)
+	e.attachLoad[id] += int64(c.size)
+	if e.collecting {
+		e.finalQ = append(e.finalQ, c)
+	}
 }
 
-// killComp removes a component from the registry.
-func (e *embedder) killComp(c *comp) {
-	c.alive = false
-	delete(e.comps, c.id)
-}
-
-// attachedAt returns the live components currently attached to addr,
-// compacting the lazily-maintained index entry as a side effect.
-func (e *embedder) attachedAt(addr bitstr.Addr) []*comp {
-	ids := e.attachIdx[addr]
-	var out []*comp
-	kept := ids[:0]
-	for _, id := range ids {
-		c, ok := e.comps[id]
-		if !ok || !c.alive || c.attach != addr {
-			continue
+// detach removes a component from the attachment index, preserving the
+// relative order of the remaining entries (levelPair's first-fit scans
+// depend on it).
+func (e *embedder) detach(c *comp) {
+	id := c.attach.ID()
+	list := e.attachIdx[id]
+	for i, x := range list {
+		if x == c {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			e.attachIdx[id] = list[:len(list)-1]
+			break
 		}
-		kept = append(kept, id)
-		out = append(out, c)
 	}
-	if len(kept) == 0 {
-		delete(e.attachIdx, addr)
-	} else {
-		e.attachIdx[addr] = kept
+	e.attachLoad[id] -= int64(c.size)
+}
+
+// killComp removes a component from the registry.  The struct stays
+// readable until the owning task's drainGraveyard.
+func (sc *scratch) killComp(c *comp) {
+	if !c.alive {
+		return
 	}
-	return out
+	sc.e.detach(c)
+	c.alive = false
+	sc.graveyard = append(sc.graveyard, c)
+}
+
+// attachedAt snapshots the components currently attached to addr.  The
+// returned slice is the scratch's reusable buffer — it is invalidated by
+// the next attachedAt on the same scratch, and a copy is required
+// because the callers mutate the underlying index while iterating.
+func (sc *scratch) attachedAt(addr bitstr.Addr) []*comp {
+	sc.snap = append(sc.snap[:0], sc.e.attachIdx[addr.ID()]...)
+	return sc.snap
 }
 
 // reattach moves a surviving component to a new attachment leaf.
 func (e *embedder) reattach(c *comp, addr bitstr.Addr) {
+	e.detach(c)
 	c.attach = addr
-	e.attachIdx[addr] = append(e.attachIdx[addr], c.id)
+	e.registerComp(c)
 }
 
 // rebuild floods the remnants of old after the given nodes were laid,
 // creating one new component per connected remnant.  Each remnant's
 // anchors and characteristic address are recomputed from its laid
 // neighbors; new components attach at their characteristic address.
-func (e *embedder) rebuild(old *comp, newlyLaid []int32) {
-	e.killComp(old)
-	var starts []int32
-	var buf []int32
+func (sc *scratch) rebuild(old *comp, newlyLaid []int32) {
+	e := sc.e
+	oldID := old.id
+	sc.killComp(old)
+	starts := sc.starts[:0]
 	for _, x := range newlyLaid {
-		buf = e.t.Neighbors(x, buf[:0])
-		for _, y := range buf {
-			if !e.laid[y] && e.compOf[y] == old.id {
+		sc.nbuf = e.t.Neighbors(x, sc.nbuf[:0])
+		for _, y := range sc.nbuf {
+			if !e.laid[y] && e.compOf[y] == oldID {
 				starts = append(starts, y)
 			}
 		}
 	}
+	sc.starts = starts
 	for _, s := range starts {
-		if e.compOf[s] != old.id {
+		if e.compOf[s] != oldID {
 			continue // already flooded into a new component
 		}
-		e.floodNewComp(s, old.id)
+		sc.floodNewComp(s, oldID)
 	}
 }
 
 // floodNewComp builds a new component from start over the unlaid nodes
 // still carrying oldID, computing anchors and the characteristic address.
-func (e *embedder) floodNewComp(start int32, oldID int32) *comp {
-	id := e.nextComp
-	e.nextComp++
-	c := &comp{id: id, alive: true}
-	queue := []int32{start}
+func (sc *scratch) floodNewComp(start int32, oldID int32) *comp {
+	e := sc.e
+	c := sc.newComp()
+	id := c.id
+	queue := append(sc.flood[:0], start)
 	e.compOf[start] = id
-	var charSet []bitstr.Addr
-	var buf []int32
+	charSet := sc.charSet[:0]
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		c.size++
 		isAnchor := false
-		buf = e.t.Neighbors(v, buf[:0])
-		for _, w := range buf {
+		sc.nbuf = e.t.Neighbors(v, sc.nbuf[:0])
+		for _, w := range sc.nbuf {
 			if e.laid[w] {
 				isAnchor = true
 				h := e.hostOf[w]
@@ -229,22 +413,33 @@ func (e *embedder) floodNewComp(start int32, oldID int32) *comp {
 			c.anchors = append(c.anchors, v)
 		}
 	}
-	if len(charSet) == 0 {
+	sc.flood = queue[:0]
+	var char bitstr.Addr
+	switch {
+	case len(charSet) == 0:
 		// Unreachable in normal operation: every remnant touches a
 		// laid separator node.  Anchor at the root defensively.
-		charSet = append(charSet, bitstr.Root())
-	}
-	if len(charSet) > 1 {
-		e.stats.StretchedComps++
-		// Keep the deepest address: its anchors come due soonest.
+		char = bitstr.Root()
+	case len(charSet) == 1:
+		char = charSet[0]
+	default:
+		sc.stats.StretchedComps++
+		// Keep the deepest address: its anchors come due soonest.  On
+		// depth ties prefer the vertex the current action laid on —
+		// that one is always inside the task's subtree, so a parallel
+		// phase never registers a comp into another task's territory.
+		char = charSet[0]
 		for _, cs := range charSet[1:] {
-			if cs.Level > charSet[0].Level {
-				charSet[0] = cs
+			if cs.Level > char.Level ||
+				(cs.Level == char.Level && char != sc.pref1 && char != sc.pref2 &&
+					(cs == sc.pref1 || cs == sc.pref2)) {
+				char = cs
 			}
 		}
 	}
-	c.char = charSet[0]
-	c.attach = c.char
+	c.char = char
+	c.attach = char
+	sc.charSet = charSet[:0]
 	e.registerComp(c)
 	return c
 }
@@ -252,32 +447,37 @@ func (e *embedder) floodNewComp(start int32, oldID int32) *comp {
 // rootedFor builds the separator view of a component, rooted at its first
 // anchor.  The second return value is the guest id handed to the lemmas as
 // the second designated node r2 (the other anchor, or the root itself).
-func (e *embedder) rootedFor(c *comp) (*separator.Rooted, int32) {
+// The Rooted lives in the scratch's Builder and is invalidated by the
+// next rootedFor on the same scratch.
+func (sc *scratch) rootedFor(c *comp) (*separator.Rooted, int32) {
 	root := c.anchors[0]
 	r2 := root
 	if len(c.anchors) > 1 {
 		r2 = c.anchors[1]
 	}
-	rt := separator.BuildSized(e.t.Neighbors, root, func(v int32) bool {
-		return !e.laid[v] && e.compOf[v] == c.id
-	}, int(c.size))
+	sc.memberID = c.id
+	rt := sc.sep.Build(sc.e.t.Neighbors, root, sc.memberFn, int(c.size))
 	return rt, r2
 }
 
 // moveCompWhole lays every anchor of c on target and re-anchors the
 // remnants there.  Returns the number of nodes newly laid.
-func (e *embedder) moveCompWhole(c *comp, target bitstr.Addr) (int, error) {
-	laidNow := make([]int32, 0, len(c.anchors))
+func (sc *scratch) moveCompWhole(c *comp, target bitstr.Addr) (int, error) {
+	e := sc.e
+	sc.pref1, sc.pref2 = target, target
+	laidNow := sc.laidBuf[:0]
 	for _, a := range c.anchors {
 		if e.laid[a] {
 			continue
 		}
-		if err := e.layNode(a, target); err != nil {
+		if err := sc.layNode(a, target); err != nil {
+			sc.laidBuf = laidNow
 			return len(laidNow), err
 		}
 		laidNow = append(laidNow, a)
 	}
-	e.rebuild(c, laidNow)
+	sc.laidBuf = laidNow
+	sc.rebuild(c, laidNow)
 	return len(laidNow), nil
 }
 
@@ -287,8 +487,8 @@ func (e *embedder) moveCompWhole(c *comp, target bitstr.Addr) (int, error) {
 // (target), the component size, and — set by the caller once the split
 // is known — the achieved slack |n2 − A|, which Lemma 2 bounds by
 // (A+4)/9.
-func (e *embedder) sepSpan(depth, target int, size int32) *trace.Span {
-	sp := e.span.Child("embed.separator")
+func (sc *scratch) sepSpan(depth, target int, size int32) *trace.Span {
+	sp := sc.span.Child("embed.separator")
 	sp.SetAttr("depth", int64(depth)).SetAttr("target", int64(target)).SetAttr("size", int64(size))
 	return sp
 }
@@ -310,63 +510,47 @@ func endSepSpan(sp *trace.Span, split separator.Split, target int, err error) {
 	sp.End()
 }
 
-// splitComp applies Lemma 2 with the given target to component c, laying
-// S1 on hStay and S2 on hMove.  The remnants re-anchor automatically at
-// whichever vertex their separator neighbors were laid on.  It returns the
-// sizes laid on each side.
-func (e *embedder) splitComp(c *comp, target int, hStay, hMove bitstr.Addr) (s1, s2 int, err error) {
-	span := e.sepSpan(hMove.Level, target, c.size)
-	rt, r2 := e.rootedFor(c)
-	sp, err := separator.Lemma2(rt, r2, target)
-	endSepSpan(span, sp, target, err)
-	if err != nil {
-		return 0, 0, err
-	}
-	var laidNow []int32
-	for _, g := range sp.S1 {
-		if err := e.layNode(g, hStay); err != nil {
-			return s1, s2, err
-		}
-		laidNow = append(laidNow, g)
-		s1++
-	}
-	for _, g := range sp.S2 {
-		if err := e.layNode(g, hMove); err != nil {
-			return s1, s2, err
-		}
-		laidNow = append(laidNow, g)
-		s2++
-	}
-	e.rebuild(c, laidNow)
-	return s1, s2, nil
-}
-
 // splitSizes pre-computes the separator sets of a Lemma 2 split without
 // applying it, so callers can check placement budgets first.  depth is
 // the host level the split serves, recorded on the separator span.
-func (e *embedder) splitSizes(c *comp, target, depth int) (sp separator.Split, rt *separator.Rooted, err error) {
-	span := e.sepSpan(depth, target, c.size)
-	rt, r2 := e.rootedFor(c)
+func (sc *scratch) splitSizes(c *comp, target, depth int) (sp separator.Split, err error) {
+	span := sc.sepSpan(depth, target, c.size)
+	rt, r2 := sc.rootedFor(c)
 	sp, err = separator.Lemma2(rt, r2, target)
 	endSepSpan(span, sp, target, err)
-	return sp, rt, err
+	return sp, err
 }
 
 // applySplit lays a precomputed split.
-func (e *embedder) applySplit(c *comp, sp separator.Split, hStay, hMove bitstr.Addr) error {
-	var laidNow []int32
+func (sc *scratch) applySplit(c *comp, sp separator.Split, hStay, hMove bitstr.Addr) error {
+	sc.pref1, sc.pref2 = hStay, hMove
+	laidNow := sc.laidBuf[:0]
 	for _, g := range sp.S1 {
-		if err := e.layNode(g, hStay); err != nil {
+		if err := sc.layNode(g, hStay); err != nil {
 			return err
 		}
 		laidNow = append(laidNow, g)
 	}
 	for _, g := range sp.S2 {
-		if err := e.layNode(g, hMove); err != nil {
+		if err := sc.layNode(g, hMove); err != nil {
 			return err
 		}
 		laidNow = append(laidNow, g)
 	}
-	e.rebuild(c, laidNow)
+	sc.laidBuf = laidNow
+	sc.rebuild(c, laidNow)
 	return nil
+}
+
+// mergeStats folds the per-scratch counters into the embedder's Stats.
+func (e *embedder) mergeStats() {
+	for _, sc := range e.scr {
+		e.stats.Overflows += sc.stats.Overflows
+		e.stats.Cond3Violations += sc.stats.Cond3Violations
+		e.stats.StretchedComps += sc.stats.StretchedComps
+		e.stats.AdjustResidual += sc.stats.AdjustResidual
+		e.stats.FillDeficits += sc.stats.FillDeficits
+		e.stats.FinalFallbacks += sc.stats.FinalFallbacks
+		sc.stats = Stats{}
+	}
 }

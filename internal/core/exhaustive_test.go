@@ -127,7 +127,9 @@ func TestFibonacciGuests(t *testing.T) {
 // *random* guests at larger sizes, so neither phase is redundant.
 func TestAblations(t *testing.T) {
 	tr := bintree.Path(int(Capacity(7)))
-	full, err := EmbedXTree(tr, DefaultOptions())
+	opts := DefaultOptions()
+	opts.ImbalanceStats = true
+	full, err := EmbedXTree(tr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestAblations(t *testing.T) {
 		t.Errorf("full pipeline leaves imbalance: %v", full.Stats.MaxImbalance)
 	}
 
-	noLvl, err := EmbedXTree(tr, Options{Height: -1, DisableLeveling: true})
+	noLvl, err := EmbedXTree(tr, Options{Height: -1, DisableLeveling: true, ImbalanceStats: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestAblations(t *testing.T) {
 	}
 
 	// Both off: the imbalance has nothing contracting it.
-	noBoth, err := EmbedXTree(tr, Options{Height: -1, DisableAdjust: true, DisableLeveling: true})
+	noBoth, err := EmbedXTree(tr, Options{Height: -1, DisableAdjust: true, DisableLeveling: true, ImbalanceStats: true})
 	if err != nil {
 		t.Fatal(err)
 	}

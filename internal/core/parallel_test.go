@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/bitstr"
+	"xtreesim/internal/xtree"
+)
+
+// TestParallelByteIdentical is the contract of Options.Parallel: the
+// fan-out changes wall-clock only, never the embedding.  Every guest is
+// embedded serially and with several goroutine counts (including one
+// that does not divide the alpha counts evenly), and the assignments and
+// stats must match vertex for vertex.
+func TestParallelByteIdentical(t *testing.T) {
+	for _, fam := range []bintree.Family{bintree.FamilyRandom, bintree.FamilyPath, bintree.FamilyZigzag} {
+		for seed := int64(0); seed < 3; seed++ {
+			tr, err := bintree.Generate(fam, int(Capacity(6))-37, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := EmbedXTree(tr, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 4, 7} {
+				opts := DefaultOptions()
+				opts.Parallel = p
+				par, err := EmbedXTree(tr, opts)
+				if err != nil {
+					t.Fatalf("%s/%d parallel=%d: %v", fam, seed, p, err)
+				}
+				for v := range serial.Assignment {
+					if serial.Assignment[v] != par.Assignment[v] {
+						t.Fatalf("%s/%d parallel=%d: node %d placed at %v, serial run placed it at %v",
+							fam, seed, p, v, par.Assignment[v], serial.Assignment[v])
+					}
+				}
+				if fmt.Sprint(serial.Stats) != fmt.Sprint(par.Stats) {
+					t.Errorf("%s/%d parallel=%d: stats diverge:\nserial:   %+v\nparallel: %+v",
+						fam, seed, p, serial.Stats, par.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelStrictErrorSurfaces checks the error path of the fan-out:
+// a strict-mode violation raised inside a worker goroutine must surface
+// from EmbedXTree, and deterministically — the same task's error wins
+// regardless of goroutine scheduling, so serial and parallel runs report
+// the identical failure.
+func TestParallelStrictErrorSurfaces(t *testing.T) {
+	tr := bintree.Path(int(Capacity(7)))
+	_, serialErr := EmbedXTree(tr, Options{Height: -1, DisableLeveling: true, Strict: true})
+	if serialErr == nil {
+		t.Fatal("strict mode swallowed the leveling ablation's violations")
+	}
+	_, parErr := EmbedXTree(tr, Options{Height: -1, DisableLeveling: true, Strict: true, Parallel: 4})
+	if parErr == nil {
+		t.Fatal("parallel strict mode swallowed the violation the serial run caught")
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Errorf("parallel run surfaced a different violation:\nserial:   %v\nparallel: %v", serialErr, parErr)
+	}
+}
+
+// TestFinalPassFallbacks pins the fallback placement branch of the final
+// pass: with the leveling cut ablated on a path guest the residual
+// imbalance exceeds what the N-neighborhoods can absorb, so the final
+// pass must take its outside-every-N-set fallback (counted, with the
+// matching condition-(3′) violations) while still placing every node
+// within the load bound.
+func TestFinalPassFallbacks(t *testing.T) {
+	tr := bintree.Path(int(Capacity(7)))
+	res, err := EmbedXTree(tr, Options{Height: -1, DisableLeveling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalFallbacks == 0 {
+		t.Fatal("leveling ablation on a path guest no longer exercises the final-pass fallback")
+	}
+	if res.Stats.Cond3Violations == 0 {
+		t.Error("fallback placements must be counted as condition (3') violations")
+	}
+	if len(res.Assignment) != tr.N() {
+		t.Fatalf("fallback run placed %d of %d nodes", len(res.Assignment), tr.N())
+	}
+	if res.MaxLoad() > LoadTarget {
+		t.Errorf("fallback placement overflowed a vertex: max load %d", res.MaxLoad())
+	}
+}
+
+// TestAttachIdxDrained is the regression test for the lazily-filtered
+// attachment index: a finished embed must leave no component — dead or
+// alive — in the index, and the incremental attachLoad mirror must be
+// fully drained with it.  The second half seeds the two corruptions the
+// old code could silently carry (a dead indexed comp, a stale load sum)
+// and checks the invariant checker reports each.
+func TestAttachIdxDrained(t *testing.T) {
+	tr := mustRandomTree(t, int(Capacity(6)), 1)
+	x := xtree.New(6)
+	e := newEmbedder(tr, x, 6, DefaultOptions())
+	if err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	for id := range e.attachIdx {
+		if len(e.attachIdx[id]) != 0 {
+			t.Fatalf("vertex id %d still indexes %d components after the embed", id, len(e.attachIdx[id]))
+		}
+		if e.attachLoad[id] != 0 {
+			t.Fatalf("attachLoad[%d] = %d after the embed", id, e.attachLoad[id])
+		}
+	}
+	if err := e.checkAttachIdx(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded corruption 1: a dead component left in the index.
+	dead := &comp{id: 999, size: 4}
+	e.attachIdx[0] = append(e.attachIdx[0], dead)
+	e.attachLoad[0] = 4
+	if err := e.checkAttachIdx(false); err == nil {
+		t.Error("checker missed a dead component in the index")
+	}
+
+	// Seeded corruption 2: a live component whose load is not mirrored.
+	dead.alive = true
+	dead.attach = bitstr.Root() // vertex id 0
+	e.attachLoad[0] = 1
+	if err := e.checkAttachIdx(false); err == nil {
+		t.Error("checker missed an attachLoad mismatch")
+	}
+	e.attachIdx[0] = e.attachIdx[0][:0]
+	e.attachLoad[0] = 0
+}

@@ -2,14 +2,22 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"xtreesim/internal/bitstr"
 	"xtreesim/internal/separator"
 )
 
+// Phase kinds dispatched by runLevel.
+const (
+	phaseAdjust = iota
+	phaseSplit
+)
+
 // run executes algorithm X-TREE: the initial 16-node seed at the root,
 // r rounds of ADJUST+SPLIT, and the final redistribution.
 func (e *embedder) run() error {
+	e.scr[0].span = e.span
 	if err := e.init16(); err != nil {
 		return err
 	}
@@ -17,33 +25,112 @@ func (e *embedder) run() error {
 		rsp := e.span.Child("embed.round")
 		rsp.SetAttr("round", int64(i))
 		e.stats.Rounds = i
+		e.budgetCur++ // reset every ADJUST budget to the default
 		w := e.computeWeights(i - 1)
-		budget := map[bitstr.Addr]int{}
 		if e.opts.DisableAdjust {
 			w = nil
 		}
 		for j := 0; w != nil && j <= i-2; j++ {
-			for idx := int64(0); idx < int64(1)<<uint(j); idx++ {
-				alpha := bitstr.Addr{Level: j, Index: uint64(idx)}
-				if err := e.adjustPair(alpha, i, w, budget); err != nil {
-					rsp.End()
-					return err
-				}
-			}
-		}
-		for idx := int64(0); idx < int64(1)<<uint(i-1); idx++ {
-			alpha := bitstr.Addr{Level: i - 1, Index: uint64(idx)}
-			if err := e.split(alpha, i); err != nil {
+			if err := e.runLevel(phaseAdjust, j, i, w); err != nil {
 				rsp.End()
 				return err
 			}
 		}
-		e.recordImbalance(i)
+		if err := e.runLevel(phaseSplit, i-1, i, nil); err != nil {
+			rsp.End()
+			return err
+		}
+		if e.opts.ImbalanceStats {
+			e.recordImbalance(i)
+		}
 		rsp.End()
 	}
 	fsp := e.span.Child("embed.final-pass")
 	err := e.finalPass()
+	e.mergeStats()
 	fsp.SetAttr("fallbacks", int64(e.stats.FinalFallbacks)).End()
+	if err != nil {
+		return err
+	}
+	return e.checkAttachIdx(true)
+}
+
+// runLevel runs one phase — ADJUST at level `level` of round i, or SPLIT
+// of the leaves at level i−1 — over every alpha of that level.  The
+// alphas of one level own disjoint subtrees of both the host and the
+// attachment index (ADJUST at alpha only touches vertices and comps
+// strictly below alpha; SPLIT at alpha only those at alpha and its
+// children), so they can run data-parallel across the scratch arenas.
+// Determinism does not depend on the interleaving: every ordering
+// decision reads comp.ord, which is fixed by (phase, alpha, creation
+// seq) alone, and chunk errors are surfaced lowest-alpha first.
+func (e *embedder) runLevel(kind, level, round int, w []int64) error {
+	e.phase++
+	count := int64(1) << uint(level)
+	p := int64(len(e.scr))
+	if p > count {
+		p = count
+	}
+	if p <= 1 {
+		sc := e.scr[0]
+		for idx := int64(0); idx < count; idx++ {
+			sc.beginTask(e.phase, uint64(idx))
+			if err := sc.runTask(kind, level, round, idx, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The tracer is not safe for concurrent children of one span; the
+	// parallel path trades the per-separator spans for throughput.
+	span0 := e.scr[0].span
+	e.scr[0].span = nil
+	chunk := (count + p - 1) / p
+	var wg sync.WaitGroup
+	for k := int64(0); k < p; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sc *scratch, lo, hi int64) {
+			defer wg.Done()
+			for idx := lo; idx < hi; idx++ {
+				sc.beginTask(e.phase, uint64(idx))
+				if err := sc.runTask(kind, level, round, idx, w); err != nil {
+					sc.err = err
+					return
+				}
+			}
+		}(e.scr[k], lo, hi)
+	}
+	wg.Wait()
+	e.scr[0].span = span0
+	for _, sc := range e.scr {
+		if sc.err != nil {
+			err := sc.err
+			for _, s := range e.scr {
+				s.err = nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask executes one alpha of a phase and recycles the comps it killed.
+func (sc *scratch) runTask(kind, level, round int, idx int64, w []int64) error {
+	alpha := bitstr.Addr{Level: level, Index: uint64(idx)}
+	var err error
+	if kind == phaseAdjust {
+		err = sc.adjustPair(alpha, round, w)
+	} else {
+		err = sc.split(alpha, round)
+	}
+	sc.drainGraveyard()
 	return err
 }
 
@@ -51,6 +138,8 @@ func (e *embedder) run() error {
 // from the guest root) onto the X-tree root ε, then registers the hanging
 // subtrees as components anchored at ε.  This is the embedding δ0.
 func (e *embedder) init16() error {
+	sc := e.scr[0]
+	sc.beginTask(0, 0)
 	want := LoadTarget
 	if e.t.N() < want {
 		want = e.t.N()
@@ -60,9 +149,8 @@ func (e *embedder) init16() error {
 	queue := []int32{e.t.Root()}
 	seen[e.t.Root()] = true
 	var buf []int32
-	for len(queue) > 0 && len(seed) < want {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue) && len(seed) < want; head++ {
+		v := queue[head]
 		seed = append(seed, v)
 		buf = e.t.Neighbors(v, buf[:0])
 		for _, u := range buf {
@@ -75,33 +163,33 @@ func (e *embedder) init16() error {
 	// One pseudo-component covering the whole guest, so rebuild can
 	// flood the remnants.
 	all := &comp{id: 0, alive: true, size: int32(e.t.N()), char: bitstr.Root(), attach: bitstr.Root()}
-	e.nextComp = 1
+	e.nextComp.Store(1)
 	for i := range e.compOf {
 		e.compOf[i] = 0
 	}
 	e.registerComp(all)
 	for _, v := range seed {
-		if err := e.layNode(v, bitstr.Root()); err != nil {
+		if err := sc.layNode(v, bitstr.Root()); err != nil {
 			return err
 		}
 	}
-	e.rebuild(all, seed)
+	sc.pref1, sc.pref2 = bitstr.Root(), bitstr.Root()
+	sc.rebuild(all, seed)
+	sc.drainGraveyard()
 	return nil
 }
 
 // computeWeights returns, for every host vertex on levels 0..maxLevel, the
 // total number of guest nodes laid on or attached below it (the |A_i(a)| of
-// the paper).  Indexed by heap id.
+// the paper).  Indexed by heap id; the slice is the embedder's reusable
+// buffer.  At the start of round i every component is attached on a level
+// ≤ i−1, so the incremental attachLoad array covers exactly the comps the
+// old per-comp scan found.
 func (e *embedder) computeWeights(maxLevel int) []int64 {
 	n := bitstr.NumVertices(maxLevel)
-	w := make([]int64, n)
+	w := e.wbuf[:n]
 	for id := int64(0); id < n; id++ {
-		w[id] = int64(e.loads[id])
-	}
-	for _, c := range e.comps {
-		if c.attach.Level <= maxLevel {
-			w[c.attach.ID()] += int64(c.size)
-		}
+		w[id] = int64(e.loads[id]) + e.attachLoad[id]
 	}
 	for id := n - 1; id >= 1; id-- {
 		w[bitstr.FromID(id).Parent().ID()] += w[id]
@@ -124,7 +212,8 @@ func shiftChain(w []int64, from bitstr.Addr, topLevel int, delta int64) {
 // between the subtrees of α0 and α1 by moving components (or lemma-2
 // pieces of components) attached at the boundary leaf of the heavier side
 // across the horizontal edge between the two new boundary leaves.
-func (e *embedder) adjustPair(alpha bitstr.Addr, i int, w []int64, budget map[bitstr.Addr]int) error {
+func (sc *scratch) adjustPair(alpha bitstr.Addr, i int, w []int64) error {
+	e := sc.e
 	a0, a1 := alpha.Child(0), alpha.Child(1)
 	D := w[a0.ID()] - w[a1.ID()]
 	if D == 0 {
@@ -145,20 +234,16 @@ func (e *embedder) adjustPair(alpha bitstr.Addr, i int, w []int64, budget map[bi
 		wT = uT.Child(1)
 	}
 	delta := int((D + 1) / 2)
-	budD, budT := budget[wD], budget[wT]
-	if _, ok := budget[wD]; !ok {
-		budD = 4
-	}
-	if _, ok := budget[wT]; !ok {
-		budT = 4
-	}
-	moved, err := e.levelPair(func() []*comp { return e.attachedAt(uD) }, delta, wD, wT, &budD, &budT)
+	wDID, wTID := wD.ID(), wT.ID()
+	budD, budT := e.budgetAt(wDID), e.budgetAt(wTID)
+	moved, err := sc.levelPair(uD, delta, wD, wT, &budD, &budT)
 	if err != nil {
 		return err
 	}
-	budget[wD], budget[wT] = budD, budT
+	e.setBudget(wDID, budD)
+	e.setBudget(wTID, budT)
 	if left := delta - moved; left > separator.Lemma2Bound(delta) {
-		e.stats.AdjustResidual += left
+		sc.stats.AdjustResidual += left
 	}
 	if moved != 0 {
 		d := int64(moved)
@@ -168,20 +253,19 @@ func (e *embedder) adjustPair(alpha bitstr.Addr, i int, w []int64, budget map[bi
 	return nil
 }
 
-// levelPair moves ≈delta guest nodes from the components provided by
-// candidates (attached on the donor side) onto the receiver side:
-// separator nodes of the staying part are laid on wD, of the moving part
-// on wT.  budD and budT bound how many nodes may be laid on each.
-// Returns the moved mass.
+// levelPair moves ≈delta guest nodes from the components attached at
+// `from` (the donor side) onto the receiver side: separator nodes of the
+// staying part are laid on wD, of the moving part on wT.  budD and budT
+// bound how many nodes may be laid on each.  Returns the moved mass.
 //
 // The strategy mirrors the proof of Theorem 1: if a whole component is
 // within the lemma-2 tolerance of the remaining target, move it whole
 // (paper case |I1|+|I2| ≥ 4Δ/3 with a large I1); otherwise split the
 // smallest sufficiently large component with Lemma 2 (paper case |T| ≥ Δ);
-// otherwise move whole components largest-first and retry.  candidates is
+// otherwise move whole components largest-first and retry.  The donor is
 // re-queried after every action so freshly split remnants can be refined
 // further while the placement budget lasts.
-func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr.Addr, budD, budT *int) (int, error) {
+func (sc *scratch) levelPair(from bitstr.Addr, delta int, wD, wT bitstr.Addr, budD, budT *int) (int, error) {
 	moved := 0
 	for {
 		rem := delta - moved
@@ -189,7 +273,7 @@ func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr
 		if rem <= tol {
 			return moved, nil
 		}
-		cands := candidates()
+		cands := sc.attachedAt(from)
 		// (a) a whole component close to the remaining target.
 		var exact *comp
 		bestDev := tol + 1
@@ -206,7 +290,7 @@ func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr
 			}
 		}
 		if exact != nil {
-			laid, err := e.moveCompWhole(exact, wT)
+			laid, err := sc.moveCompWhole(exact, wT)
 			if err != nil {
 				return moved, err
 			}
@@ -222,9 +306,9 @@ func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr
 			}
 		}
 		if big != nil {
-			sp, _, err := e.splitSizes(big, rem, wT.Level)
+			sp, err := sc.splitSizes(big, rem, wT.Level)
 			if err == nil && len(sp.S1) <= *budD && len(sp.S2) <= *budT {
-				if err := e.applySplit(big, sp, wD, wT); err != nil {
+				if err := sc.applySplit(big, sp, wD, wT); err != nil {
 					return moved, err
 				}
 				*budD -= len(sp.S1)
@@ -246,7 +330,7 @@ func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr
 		if part == nil {
 			return moved, nil // nothing more can move within budget
 		}
-		laid, err := e.moveCompWhole(part, wT)
+		laid, err := sc.moveCompWhole(part, wT)
 		if err != nil {
 			return moved, err
 		}
@@ -260,52 +344,33 @@ func (e *embedder) levelPair(candidates func() []*comp, delta int, wD, wT bitstr
 // neighbors sit on level i−2 (they are due now by condition (4)), level the
 // two sides with one more lemma-2 split across the horizontal edge
 // {α0, α1}, and fill both leaves up to 16 nodes.
-func (e *embedder) split(alpha bitstr.Addr, i int) error {
+func (sc *scratch) split(alpha bitstr.Addr, i int) error {
+	e := sc.e
 	w0, w1 := alpha.Child(0), alpha.Child(1)
-	cands := e.attachedAt(alpha)
-	// Classes: char two levels up (designated nodes due now) vs one level
-	// up (re-attach only).
-	var classP, classC []*comp
-	for _, c := range cands {
-		if !alpha.IsRoot() && c.char.Level == alpha.Level-1 {
-			classP = append(classP, c)
-		} else {
-			classC = append(classC, c)
-		}
-	}
-	tot0 := int64(e.loads[w0.ID()])
-	tot1 := int64(e.loads[w1.ID()])
-	for _, c := range e.attachedAt(w0) {
-		tot0 += int64(c.size)
-	}
-	for _, c := range e.attachedAt(w1) {
-		tot1 += int64(c.size)
-	}
+	tot0 := int64(e.loads[w0.ID()]) + e.attachLoad[w0.ID()]
+	tot1 := int64(e.loads[w1.ID()]) + e.attachLoad[w1.ID()]
 	// Greedy balanced assignment, big components first (the M0/M1 pairing
 	// of the paper achieves the same Δ ≤ max interval bound).
-	assign := append(append([]*comp{}, classP...), classC...)
+	assign := append(sc.assign[:0], e.attachIdx[alpha.ID()]...)
+	sc.assign = assign
 	sort.Slice(assign, func(a, b int) bool {
 		if assign[a].size != assign[b].size {
 			return assign[a].size > assign[b].size
 		}
-		return assign[a].id < assign[b].id
+		return assign[a].ord < assign[b].ord
 	})
-	isP := make(map[int32]bool, len(classP))
-	for _, c := range classP {
-		isP[c.id] = true
-	}
 	for _, c := range assign {
 		side, other := w0, w1
 		if tot0 > tot1 {
 			side, other = w1, w0
 		}
-		if isP[c.id] {
-			// The designated nodes are due now; avoid overfilling a
-			// vertex when the sibling still has room.
+		if !alpha.IsRoot() && c.char.Level == alpha.Level-1 {
+			// Class P: the designated nodes are due now; avoid
+			// overfilling a vertex when the sibling still has room.
 			if e.free(side) < len(c.anchors) && e.free(other) >= len(c.anchors) {
 				side, other = other, side
 			}
-			if _, err := e.moveCompWhole(c, side); err != nil {
+			if _, err := sc.moveCompWhole(c, side); err != nil {
 				return err
 			}
 		} else {
@@ -332,14 +397,14 @@ func (e *embedder) split(alpha bitstr.Addr, i int) error {
 		if budT < 0 {
 			budT = 0
 		}
-		if _, err := e.levelPair(func() []*comp { return e.attachedAt(heavy) }, delta, heavy, light, &budD, &budT); err != nil {
+		if _, err := sc.levelPair(heavy, delta, heavy, light, &budD, &budT); err != nil {
 			return err
 		}
 	}
-	if err := e.fillUp(w0); err != nil {
+	if err := sc.fillUp(w0); err != nil {
 		return err
 	}
-	return e.fillUp(w1)
+	return sc.fillUp(w1)
 }
 
 // fillUp lays nodes on w until it holds 16, taking anchors of components
@@ -348,9 +413,10 @@ func (e *embedder) split(alpha bitstr.Addr, i int) error {
 // cannot create a component with anchors on two different host vertices
 // are taken; if none remain the deficit is recorded and the final pass
 // resolves it.
-func (e *embedder) fillUp(w bitstr.Addr) error {
+func (sc *scratch) fillUp(w bitstr.Addr) error {
+	e := sc.e
 	for e.free(w) > 0 {
-		cands := e.attachedAt(w)
+		cands := sc.attachedAt(w)
 		var chosen *comp
 		layAll := false
 		for _, c := range cands {
@@ -372,19 +438,21 @@ func (e *embedder) fillUp(w bitstr.Addr) error {
 			// exact theorem instances a clean run keeps this at 0
 			// for all but the last level (slack instances always
 			// leave some).
-			e.stats.FillDeficits += e.free(w)
+			sc.stats.FillDeficits += e.free(w)
 			return nil
 		}
 		if layAll {
-			if _, err := e.moveCompWhole(chosen, w); err != nil {
+			if _, err := sc.moveCompWhole(chosen, w); err != nil {
 				return err
 			}
 		} else {
 			a := chosen.anchors[0]
-			if err := e.layNode(a, w); err != nil {
+			if err := sc.layNode(a, w); err != nil {
 				return err
 			}
-			e.rebuild(chosen, []int32{a})
+			sc.pref1, sc.pref2 = w, w
+			sc.laidBuf = append(sc.laidBuf[:0], a)
+			sc.rebuild(chosen, sc.laidBuf)
 		}
 	}
 	return nil
@@ -392,10 +460,18 @@ func (e *embedder) fillUp(w bitstr.Addr) error {
 
 // recordImbalance logs the sibling half-differences after round i — the
 // measured A(j,i) of §2(iii) — both as the per-round maximum and as the
-// per-parent-level row of the imbalance matrix.
+// per-parent-level row of the imbalance matrix.  Costs one extra
+// computeWeights pass per round, so it only runs under
+// Options.ImbalanceStats.
 func (e *embedder) recordImbalance(i int) {
 	w := e.computeWeights(i)
-	perLevel := make([]int64, i) // parent level j = 0..i-1
+	if cap(e.perLevelBuf) < i {
+		e.perLevelBuf = make([]int64, i)
+	}
+	perLevel := e.perLevelBuf[:i] // parent level j = 0..i-1
+	for j := range perLevel {
+		perLevel[j] = 0
+	}
 	for id := int64(1); id < int64(len(w)); id += 2 {
 		d := w[id] - w[id+1]
 		if d < 0 {
@@ -423,39 +499,53 @@ func (e *embedder) recordImbalance(i int) {
 // to the nearest free vertex when none remains (counted, since it can cost
 // dilation).  This realizes the paper's closing rearrangement "distribute
 // the nodes not laid out so far to free places among the leaves".
+//
+// The worklist is a FIFO seeded with the live components in creation
+// order (exactly the id order the per-sweep collect-and-sort used to
+// produce) and extended by registerComp as rebuilds spawn remnants, so
+// the pass runs in one sweep with no per-sweep allocation.  Comp structs
+// are not recycled while the queue holds pointers.
 func (e *embedder) finalPass() error {
-	for len(e.comps) > 0 {
-		ids := make([]int32, 0, len(e.comps))
-		for id := range e.comps {
-			ids = append(ids, id)
+	sc := e.scr[0]
+	e.phase++
+	sc.beginTask(e.phase, 0)
+	q := e.finalQ[:0]
+	for id := range e.attachIdx {
+		q = append(q, e.attachIdx[id]...)
+	}
+	sort.Slice(q, func(a, b int) bool { return q[a].ord < q[b].ord })
+	e.finalQ = q
+	e.collecting = true
+	defer func() { e.collecting = false }()
+	for head := 0; head < len(e.finalQ); head++ {
+		c := e.finalQ[head]
+		if !c.alive {
+			continue
 		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, id := range ids {
-			c, ok := e.comps[id]
-			if !ok || !c.alive {
-				continue
-			}
-			a := c.anchors[0]
-			target, fallback := e.findSlotFor(a)
-			if fallback {
-				e.stats.FinalFallbacks++
-			}
-			if err := e.layNode(a, target); err != nil {
-				return err
-			}
-			e.rebuild(c, []int32{a})
+		a := c.anchors[0]
+		target, fallback := e.findSlotFor(a)
+		if fallback {
+			sc.stats.FinalFallbacks++
 		}
+		if err := sc.layNode(a, target); err != nil {
+			return err
+		}
+		sc.pref1, sc.pref2 = target, target
+		sc.laidBuf = append(sc.laidBuf[:0], a)
+		sc.rebuild(c, sc.laidBuf)
 	}
 	return nil
 }
 
 // findSlotFor picks a host vertex with a free slot for the given anchor:
 // preferably one compatible with condition (3′) against every laid
-// neighbor, otherwise (fallback=true) the nearest free vertex.
+// neighbor, otherwise (fallback=true) the nearest free vertex.  Serial
+// only (final pass); all buffers live on the embedder.
 func (e *embedder) findSlotFor(v int32) (bitstr.Addr, bool) {
-	var hosts []bitstr.Addr
-	e.nbuf = e.t.Neighbors(v, e.nbuf[:0])
-	for _, u := range e.nbuf {
+	sc := e.scr[0]
+	hosts := e.hostsBuf[:0]
+	sc.nbuf = e.t.Neighbors(v, sc.nbuf[:0])
+	for _, u := range sc.nbuf {
 		if e.laid[u] {
 			hosts = append(hosts, e.hostOf[u])
 		}
@@ -463,11 +553,13 @@ func (e *embedder) findSlotFor(v int32) (bitstr.Addr, bool) {
 	if len(hosts) == 0 {
 		hosts = append(hosts, bitstr.Root())
 	}
+	e.hostsBuf = hosts
 	base := hosts[0]
 	// Candidates: both directions of the N-relation around the anchor's
 	// characteristic address.
-	cand := e.x.NSet(base)
-	cand = append(cand, e.x.ReverseN(base)...)
+	cand := e.x.AppendNSet(base, e.candBuf[:0])
+	cand = e.x.AppendReverseN(base, cand)
+	e.candBuf = cand
 	best := bitstr.Addr{Level: -1}
 	bestDist := 1 << 30
 	for _, h := range cand {
@@ -495,24 +587,27 @@ func (e *embedder) findSlotFor(v int32) (bitstr.Addr, bool) {
 	if best.Level >= 0 {
 		return best, false
 	}
-	// Fallback: nearest free vertex by BFS over the X-tree.
-	seen := map[bitstr.Addr]bool{base: true}
-	queue := []bitstr.Addr{base}
-	var buf []bitstr.Addr
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	// Fallback: nearest free vertex by BFS over the X-tree, with an
+	// epoch-stamped visited array instead of a per-call map.
+	e.bfsSeenCur++
+	gen := e.bfsSeenCur
+	e.bfsSeen[base.ID()] = gen
+	queue := append(e.bfsQueue[:0], base)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		if e.free(u) > 0 {
+			e.bfsQueue = queue
 			return u, true
 		}
-		buf = e.x.Neighbors(u, buf[:0])
-		for _, nb := range buf {
-			if !seen[nb] {
-				seen[nb] = true
+		e.xnbuf = e.x.Neighbors(u, e.xnbuf[:0])
+		for _, nb := range e.xnbuf {
+			if id := nb.ID(); e.bfsSeen[id] != gen {
+				e.bfsSeen[id] = gen
 				queue = append(queue, nb)
 			}
 		}
 	}
+	e.bfsQueue = queue
 	// Capacity guarantees a free slot exists; unreachable.
 	return base, true
 }

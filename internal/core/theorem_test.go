@@ -196,7 +196,9 @@ func TestInjectiveHypercube(t *testing.T) {
 // reach 0 before the final round on theorem-sized instances.
 func TestImbalanceConverges(t *testing.T) {
 	tr := bintree.Path(int(Capacity(8)))
-	res, err := EmbedXTree(tr, DefaultOptions())
+	opts := DefaultOptions()
+	opts.ImbalanceStats = true
+	res, err := EmbedXTree(tr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

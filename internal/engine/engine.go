@@ -96,6 +96,12 @@ type Config struct {
 	// engine keeps the cache sound: a cached result is only reused
 	// under the options it was computed with.
 	Options *core.Options
+	// Parallel, when > 0, overrides Options.Parallel: the number of
+	// goroutines each embed fans its ADJUST/SPLIT phases over.  The
+	// embedding is byte-identical for every value, so it composes
+	// safely with the canonical cache.  0 keeps whatever Options
+	// carries; negative values are clamped to 0.
+	Parallel int
 	// DeriveInjective additionally derives Theorem 2 (injective,
 	// dilation ≤ 11) for every item.
 	DeriveInjective bool
@@ -122,6 +128,9 @@ func (c Config) normalize() Config {
 	}
 	if out.Coalesce == CoalesceDefault {
 		out.Coalesce = CoalesceOn
+	}
+	if out.Parallel < 0 {
+		out.Parallel = 0
 	}
 	if out.CacheSize < 0 {
 		out.CacheShards = 0
@@ -294,6 +303,9 @@ func New(cfg Config) *Engine {
 	opts := core.DefaultOptions()
 	if cfg.Options != nil {
 		opts = *cfg.Options
+	}
+	if cfg.Parallel > 0 {
+		opts.Parallel = cfg.Parallel
 	}
 	e := &Engine{
 		opts:     opts,

@@ -32,6 +32,31 @@ type Rooted struct {
 	depth  []int32
 	tin    []int32 // Euler intervals for O(1) ancestor tests
 	tout   []int32
+	stack  []frame // computeOrder scratch, reused across builds
+}
+
+type frame struct {
+	v    int32
+	next int
+}
+
+// Builder builds Rooted views into reusable storage, so a hot loop that
+// roots thousands of components (the embedder builds one per separator
+// split) does not reallocate the arrays each time.  Every call to Build
+// returns the same underlying Rooted and overwrites the previous view;
+// the caller must be completely done with the prior Rooted first.  The
+// Split values the lemmas produce copy their node sets, so they stay
+// valid after the next Build.
+type Builder struct {
+	r   Rooted
+	buf []int32
+}
+
+// Build is BuildSized into the Builder's reusable storage.  The returned
+// Rooted is invalidated by the next Build on the same Builder.
+func (b *Builder) Build(adj AdjFunc, root int32, member func(int32) bool, sizeHint int) *Rooted {
+	b.buf = b.r.build(adj, root, member, sizeHint, b.buf)
+	return &b.r
 }
 
 // Build roots the component containing root.  member may be nil to accept
@@ -44,23 +69,32 @@ func Build(adj AdjFunc, root int32, member func(int32) bool) *Rooted {
 // BuildSized is Build with a capacity hint for the component size, which
 // avoids rehashing and regrowth on the embedder's hot path.
 func BuildSized(adj AdjFunc, root int32, member func(int32) bool, sizeHint int) *Rooted {
+	r := &Rooted{}
+	r.build(adj, root, member, sizeHint, nil)
+	return r
+}
+
+// build fills r in place, reusing whatever storage it already holds.
+// buf is the adjacency scratch; the (possibly grown) slice is returned.
+func (r *Rooted) build(adj AdjFunc, root int32, member func(int32) bool, sizeHint int, buf []int32) []int32 {
 	if sizeHint < 1 {
 		sizeHint = 1
 	}
-	r := &Rooted{
-		pos:    make(map[int32]int32, sizeHint),
-		nodes:  make([]int32, 0, sizeHint),
-		parent: make([]int32, 0, sizeHint),
-		depth:  make([]int32, 0, sizeHint),
-		kids:   make([][]int32, 0, sizeHint),
+	if r.pos == nil {
+		r.pos = make(map[int32]int32, sizeHint)
+	} else {
+		clear(r.pos)
 	}
+	r.nodes = r.nodes[:0]
+	r.parent = r.parent[:0]
+	r.depth = r.depth[:0]
+	r.kids = r.kids[:0]
 	r.nodes = append(r.nodes, root)
 	r.pos[root] = 0
 	r.parent = append(r.parent, -1)
 	r.depth = append(r.depth, 0)
-	var buf []int32
 	// BFS; kids recorded in discovery order.
-	r.kids = append(r.kids, nil)
+	r.growKids()
 	for head := 0; head < len(r.nodes); head++ {
 		v := r.nodes[head]
 		buf = adj(v, buf[:0])
@@ -76,26 +110,33 @@ func BuildSized(adj AdjFunc, root int32, member func(int32) bool, sizeHint int) 
 			r.pos[w] = local
 			r.parent = append(r.parent, int32(head))
 			r.depth = append(r.depth, r.depth[head]+1)
-			r.kids = append(r.kids, nil)
+			r.growKids()
 			r.kids[head] = append(r.kids[head], local)
 		}
 	}
 	r.computeOrder()
-	return r
+	return buf
+}
+
+// growKids appends one empty child list, keeping the capacity of a
+// previously built inner slice when the outer array is being reused.
+func (r *Rooted) growKids() {
+	if n := len(r.kids); n < cap(r.kids) {
+		r.kids = r.kids[:n+1]
+		r.kids[n] = r.kids[n][:0]
+	} else {
+		r.kids = append(r.kids, nil)
+	}
 }
 
 // computeOrder fills sizes and Euler intervals iteratively.
 func (r *Rooted) computeOrder() {
 	n := len(r.nodes)
-	r.size = make([]int32, n)
-	r.tin = make([]int32, n)
-	r.tout = make([]int32, n)
+	r.size = grow32(r.size, n)
+	r.tin = grow32(r.tin, n)
+	r.tout = grow32(r.tout, n)
 	timer := int32(0)
-	type frame struct {
-		v    int32
-		next int
-	}
-	stack := []frame{{0, 0}}
+	stack := append(r.stack[:0], frame{0, 0})
 	r.tin[0] = timer
 	timer++
 	for len(stack) > 0 {
@@ -116,6 +157,16 @@ func (r *Rooted) computeOrder() {
 		}
 		stack = stack[:len(stack)-1]
 	}
+	r.stack = stack
+}
+
+// grow32 resizes s to n entries, reusing its backing array when large
+// enough.  Contents are unspecified; every caller overwrites all n slots.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
 }
 
 // N returns the number of nodes in the component.

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/netsim"
@@ -54,11 +56,39 @@ func badRequest(format string, args ...interface{}) *apiError {
 
 // TreeSpec names one guest tree, either by its nested-parenthesis
 // encoding (bintree.Encode) or by generator family, size and seed.
+//
+// Seed is a pointer so the API can tell "seed omitted" apart from an
+// explicit "seed": 0 — the zero value of int64 is a perfectly valid
+// generator seed.  An explicit seed (zero included) is honored exactly,
+// so repeated requests are deterministic and collapse in the canonical
+// cache; an omitted seed draws a fresh one per request (deriveSeed), so
+// "give me some random tree" really varies between calls.
 type TreeSpec struct {
 	Encoded string `json:"encoded,omitempty"`
 	Family  string `json:"family,omitempty"`
 	N       int    `json:"n,omitempty"`
-	Seed    int64  `json:"seed,omitempty"`
+	Seed    *int64 `json:"seed,omitempty"`
+}
+
+// Seed returns a pointer to v, for building TreeSpec literals.
+func Seed(v int64) *int64 { return &v }
+
+// seedCounter drives deriveSeed.  The process start time salts the
+// sequence so two runs of the same client script do not replay the same
+// "random" trees; the counter keeps seeds distinct within a run.
+var seedCounter atomic.Int64
+
+func init() { seedCounter.Store(time.Now().UnixNano()) }
+
+// deriveSeed returns a fresh generator seed for requests that omit one,
+// distinct across requests and across process restarts.  The splitmix64
+// finalizer spreads the near-sequential counter values over the whole
+// seed space so neighboring requests do not get correlated rand streams.
+func deriveSeed() int64 {
+	z := uint64(seedCounter.Add(1)) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // resolve turns the spec into a tree, enforcing the server's node cap.
@@ -89,7 +119,11 @@ func (ts *TreeSpec) resolve(maxNodes int) (*bintree.Tree, error) {
 		if !ok {
 			return nil, badRequest("tree: unknown family %q (have %v)", ts.Family, bintree.Families)
 		}
-		t, err := bintree.Generate(fam, ts.N, rand.New(rand.NewSource(ts.Seed)))
+		seed := ts.Seed
+		if seed == nil {
+			seed = Seed(deriveSeed())
+		}
+		t, err := bintree.Generate(fam, ts.N, rand.New(rand.NewSource(*seed)))
 		if err != nil {
 			return nil, badRequest("tree: %v", err)
 		}

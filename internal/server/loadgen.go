@@ -48,6 +48,56 @@ type LoadConfig struct {
 	// exports one joinable trace per request regardless of the server's
 	// sample rate — useful for phase-profiling under load.
 	Trace bool
+	// Seed is the master seed for the whole run: it derives both the
+	// per-shape tree seeds and each worker's shape-selection stream, so
+	// two runs with different seeds exercise genuinely different
+	// request mixes.  Seed 0 keeps the original fixed streams (shape
+	// seeds 1..DistinctShapes, worker w drawing from source w+1) that
+	// every run before the knob existed replayed — kept reachable so
+	// historical BENCH_serve.json numbers stay reproducible.
+	Seed int64
+}
+
+// mix64 is the splitmix64 finalizer over a key pair: a cheap, stateless
+// way to derive well-spread, independent seeds (shape i, worker w) from
+// one master seed without any shared rand state.
+func mix64(a, b uint64) int64 {
+	z := a*0x9e3779b97f4a7c15 + b
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shapeSeed returns the generator seed of shape i under master seed s.
+func shapeSeed(s int64, i int) int64 {
+	if s == 0 {
+		return int64(i + 1) // legacy fixed stream
+	}
+	return mix64(uint64(s), uint64(i)+1)
+}
+
+// workerSeed returns worker w's shape-selection rand seed under master
+// seed s.
+func workerSeed(s int64, w int) int64 {
+	if s == 0 {
+		return int64(w + 1) // legacy fixed stream
+	}
+	return mix64(uint64(s)^0xa5a5a5a5a5a5a5a5, uint64(w)+1)
+}
+
+// loadBodies pre-encodes the request mix: one body per distinct shape.
+func loadBodies(family string, treeN, shapes int, seed int64) ([][]byte, error) {
+	bodies := make([][]byte, shapes)
+	for i := range bodies {
+		body, err := json.Marshal(EmbedRequest{
+			Tree: &TreeSpec{Family: family, N: treeN, Seed: Seed(shapeSeed(seed, i))},
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	return bodies, nil
 }
 
 // LoadReport summarizes one load-generation run.
@@ -103,15 +153,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 	// Pre-encode the request bodies: the generator must not spend its
 	// own time budget building JSON inside the measured loop.
-	bodies := make([][]byte, shapes)
-	for i := range bodies {
-		body, err := json.Marshal(EmbedRequest{
-			Tree: &TreeSpec{Family: family, N: treeN, Seed: int64(i + 1)},
-		})
-		if err != nil {
-			return nil, err
-		}
-		bodies[i] = body
+	bodies, err := loadBodies(family, treeN, shapes, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
 
 	client := &http.Client{
@@ -132,7 +176,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w) + 1))
+			rng := rand.New(rand.NewSource(workerSeed(cfg.Seed, w)))
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(total) {

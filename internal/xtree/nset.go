@@ -20,32 +20,41 @@ import "xtreesim/internal/bitstr"
 // have length ≤ 3 except the down-down-side-side ones, which shortcut to
 // length ≤ 3 as verified exhaustively in the tests).
 func (x *XTree) NSet(a bitstr.Addr) []bitstr.Addr {
+	return x.AppendNSet(a, make([]bitstr.Addr, 0, 21))
+}
+
+// AppendNSet appends N(a) to out and returns it, for callers that reuse
+// a buffer across many enumerations (the embedder's final pass).
+func (x *XTree) AppendNSet(a bitstr.Addr, out []bitstr.Addr) []bitstr.Addr {
 	if !x.Contains(a) {
 		panic("xtree: NSet of a vertex outside the tree")
 	}
-	out := make([]bitstr.Addr, 0, 21)
-	appendRange := func(level int, lo, hi int64) {
-		if level > x.height {
-			return
-		}
-		max := int64(1)<<uint(level) - 1
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > max {
-			hi = max
-		}
-		for i := lo; i <= hi; i++ {
-			out = append(out, bitstr.Addr{Level: level, Index: uint64(i)})
-		}
-	}
 	idx := int64(a.Index)
 	// Same level: up to three horizontal steps either way (a included).
-	appendRange(a.Level, idx-3, idx+3)
+	out = x.appendLevelRange(out, a.Level, idx-3, idx+3)
 	// One level down: children span [2i, 2i+1], then ±2 horizontal.
-	appendRange(a.Level+1, 2*idx-2, 2*idx+1+2)
+	out = x.appendLevelRange(out, a.Level+1, 2*idx-2, 2*idx+1+2)
 	// Two levels down: grandchildren span [4i, 4i+3], then ±2 horizontal.
-	appendRange(a.Level+2, 4*idx-2, 4*idx+3+2)
+	out = x.appendLevelRange(out, a.Level+2, 4*idx-2, 4*idx+3+2)
+	return out
+}
+
+// appendLevelRange appends the vertices [lo, hi] of one level, clamped to
+// the level borders; levels outside the tree contribute nothing.
+func (x *XTree) appendLevelRange(out []bitstr.Addr, level int, lo, hi int64) []bitstr.Addr {
+	if level < 0 || level > x.height {
+		return out
+	}
+	max := int64(1)<<uint(level) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > max {
+		hi = max
+	}
+	for i := lo; i <= hi; i++ {
+		out = append(out, bitstr.Addr{Level: level, Index: uint64(i)})
+	}
 	return out
 }
 
@@ -69,29 +78,18 @@ func (x *XTree) InN(a, b bitstr.Addr) bool {
 // ReverseN returns the vertices β with a ∈ N(β).  Used by the Theorem 4
 // universal-graph construction, whose edge set must be symmetric.
 func (x *XTree) ReverseN(a bitstr.Addr) []bitstr.Addr {
-	out := make([]bitstr.Addr, 0, 13)
-	appendRange := func(level int, lo, hi int64) {
-		if level < 0 || level > x.height {
-			return
-		}
-		max := int64(1)<<uint(level) - 1
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > max {
-			hi = max
-		}
-		for i := lo; i <= hi; i++ {
-			out = append(out, bitstr.Addr{Level: level, Index: uint64(i)})
-		}
-	}
+	return x.AppendReverseN(a, make([]bitstr.Addr, 0, 13))
+}
+
+// AppendReverseN appends ReverseN(a) to out and returns it.
+func (x *XTree) AppendReverseN(a bitstr.Addr, out []bitstr.Addr) []bitstr.Addr {
 	idx := int64(a.Index)
 	// Same level: symmetric.
-	appendRange(a.Level, idx-3, idx+3)
+	out = x.appendLevelRange(out, a.Level, idx-3, idx+3)
 	// β one level up: need idx ∈ [2β−2, 2β+3]  ⇔  β ∈ [⌈(idx−3)/2⌉, ⌊(idx+2)/2⌋].
-	appendRange(a.Level-1, ceilDiv(idx-3, 2), floorDiv(idx+2, 2))
+	out = x.appendLevelRange(out, a.Level-1, ceilDiv(idx-3, 2), floorDiv(idx+2, 2))
 	// β two levels up: need idx ∈ [4β−2, 4β+5]  ⇔  β ∈ [⌈(idx−5)/4⌉, ⌊(idx+2)/4⌋].
-	appendRange(a.Level-2, ceilDiv(idx-5, 4), floorDiv(idx+2, 4))
+	out = x.appendLevelRange(out, a.Level-2, ceilDiv(idx-5, 4), floorDiv(idx+2, 4))
 	return out
 }
 

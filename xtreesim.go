@@ -168,6 +168,22 @@ func WithStrict() EmbedOption {
 	return func(o *EmbedConfig) { o.Strict = true }
 }
 
+// WithParallel fans the ADJUST and SPLIT phases of each round out over n
+// goroutines (the per-level tasks own disjoint host subtrees).  The
+// embedding produced is byte-identical for every n; values below 2 run
+// serially.
+func WithParallel(n int) EmbedOption {
+	return func(o *EmbedConfig) { o.Parallel = n }
+}
+
+// WithImbalanceStats enables the per-round A(j,i) instrumentation
+// (Stats.MaxImbalance and Stats.ImbalanceMatrix).  Off by default: the
+// matrix costs one extra full weight pass per round, which the serving
+// hot path should not pay.
+func WithImbalanceStats() EmbedOption {
+	return func(o *EmbedConfig) { o.ImbalanceStats = true }
+}
+
 // NewEmbedConfig resolves functional options into an *EmbedConfig, for
 // APIs that take the resolved form (EngineConfig.Options).
 func NewEmbedConfig(opts ...EmbedOption) *EmbedConfig {
