@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke
+.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke soak-smoke warm-bench
 
 all: vet test
 
@@ -52,9 +52,12 @@ experiments:
 fault-sweep:
 	$(GO) run ./cmd/xtree-bench -exp e16
 
-# Short fuzz of the netsim fault layer (determinism + counter invariants).
+# Short fuzz of the netsim fault layer (determinism + counter invariants)
+# and of the cache-snapshot parser (arbitrary bytes must never panic or
+# corrupt the cache).
 fuzz:
 	$(GO) test -run Fuzz -fuzz=FuzzNetsimFaults -fuzztime=10s ./internal/netsim
+	$(GO) test -run Fuzz -fuzz=FuzzWarm -fuzztime=10s ./internal/engine
 
 # E1 + the simulator experiments with the LinkAudit invariant checker
 # attached to every run: any model violation aborts with a violation list.
@@ -90,6 +93,19 @@ trace-smoke:
 # single-worker server engine failed by construction.
 scale-smoke:
 	$(GO) run ./cmd/xtree-serve -scale-smoke -n 600
+
+# The soak/chaos gate (also the CI soak job): closed-loop load plus
+# fault-injected simulations against a live server, a mid-run graceful
+# drain that snapshots the caches, a restart that warms from the
+# snapshot, and the same load again.  Fails on any client-visible error,
+# a shed rate over 50%, a p99 over 5s, or a warmed server that runs even
+# one compute for a previously-seen shape.
+soak-smoke:
+	$(GO) run ./cmd/xtree-serve -soak-smoke -n 300 -tree-n 600 -shapes 8
+
+# E21 only: restart-with-snapshot vs cold-restart comparison table.
+warm-bench:
+	$(GO) run ./cmd/xtree-bench -exp e21
 
 # E19 only: traced phase breakdown (separator vs host-build vs simulate).
 phase-bench:

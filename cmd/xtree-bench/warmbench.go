@@ -1,0 +1,89 @@
+package main
+
+// warmbench.go is experiment E21: what the cache snapshot buys a
+// restarted server.  It boots a server with a snapshot path, drives a
+// repeat-heavy load to fill the cache, drains (writing the snapshot),
+// then measures the same load against two fresh servers — one warmed
+// from the snapshot, one cold — and reports first-request latency,
+// p50/p99, computes run, and the client-visible cache hit rate of each.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xtreesim/internal/server"
+)
+
+// e21Run drives one measured load phase against a fresh server built
+// from cfg and reports the client report plus the engine miss count.
+func e21Run(cfg server.Config, requests, treeN, shapes int) (*server.LoadReport, int64, int) {
+	s := server.New(cfg)
+	check(s.Start())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	rep, err := server.RunLoad(server.LoadConfig{
+		BaseURL:        s.URL(),
+		Concurrency:    4,
+		Requests:       requests,
+		TreeN:          treeN,
+		DistinctShapes: shapes,
+		Seed:           7,
+	})
+	check(err)
+	st := s.Stats()
+	return rep, st.Misses, int(st.WarmLoaded)
+}
+
+func e21WarmRestart() {
+	const (
+		treeN    = 1008
+		shapes   = 8
+		requests = 200
+	)
+	dir, err := os.MkdirTemp("", "xtree-e21")
+	check(err)
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "cache.snap")
+
+	// Fill: a first server sees the whole request mix and snapshots its
+	// cache on drain.
+	fillCfg := server.Config{SnapshotPath: snap}
+	s := server.New(fillCfg)
+	check(s.Start())
+	_, err = server.RunLoad(server.LoadConfig{
+		BaseURL: s.URL(), Concurrency: 4, Requests: requests,
+		TreeN: treeN, DistinctShapes: shapes, Seed: 7,
+	})
+	check(err)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	check(s.Shutdown(ctx))
+	cancel()
+
+	// Measure: identical load against a snapshot-warmed restart and a
+	// cold restart.
+	warmRep, warmMisses, warmLoaded := e21Run(server.Config{SnapshotPath: snap}, requests, treeN, shapes)
+	coldRep, coldMisses, _ := e21Run(server.Config{}, requests, treeN, shapes)
+
+	header("E21 — restart with cache snapshot vs cold restart "+
+		"(random trees, n=1008, 8 shapes, 200 requests, c=4)",
+		"restart", "warm records", "computes run", "client hit rate", "p50", "p99", "throughput")
+	row("warm (snapshot)", warmLoaded, warmMisses,
+		pct(warmRep.CacheHits, warmRep.OK), warmRep.P50.Round(10*time.Microsecond),
+		warmRep.P99.Round(10*time.Microsecond), fmt.Sprintf("%.0f/s", warmRep.Throughput))
+	row("cold", 0, coldMisses,
+		pct(coldRep.CacheHits, coldRep.OK), coldRep.P50.Round(10*time.Microsecond),
+		coldRep.P99.Round(10*time.Microsecond), fmt.Sprintf("%.0f/s", coldRep.Throughput))
+}
+
+func pct(part, whole int) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}

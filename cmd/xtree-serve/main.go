@@ -10,6 +10,8 @@
 //	xtree-serve -smoke                      # self-check: boot, drive, verify, exit
 //	xtree-serve -trace-smoke                # tracing self-check: one traced request, validated export
 //	xtree-serve -scale-smoke                # concurrency self-check: loadgen at c=1 vs c=8
+//	xtree-serve -soak-smoke                 # soak/chaos self-check: load, faults, snapshot restart, warm
+//	xtree-serve -cache-snapshot cache.snap  # serve with cache persistence across restarts
 //	xtree-serve -version
 //
 // Serving flags tune the production knobs: -workers, -cache,
@@ -65,9 +67,13 @@ func main() {
 		tagTraces = flag.Bool("trace", false, "loadgen: tag every request with its own X-Trace-Id")
 		genSeed   = flag.Int64("seed", 0, "loadgen: master seed for the request streams (0 = the fixed legacy streams, for replaying historical runs)")
 
+		cacheSnapshot = flag.String("cache-snapshot", "", "persist the canonical-tree caches to this file: warm from it on boot, rewrite it on graceful drain")
+		maxProfiles   = flag.Int("max-profiles", 0, "max non-default option-profile engines (0 = default)")
+
 		smoke      = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
 		traceSmoke = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
 		scaleSmoke = flag.Bool("scale-smoke", false, "run the concurrency-scaling self-check and exit (0 = pass)")
+		soakSmoke  = flag.Bool("soak-smoke", false, "run the soak/chaos self-check (load, fault-injected sims, snapshot restart, warm) and exit (0 = pass)")
 		verFlag    = flag.Bool("version", false, "print build info and exit")
 		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
@@ -93,6 +99,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "scale-smoke: FAIL: %v\n", err)
 			os.Exit(1)
 		}
+	case *soakSmoke:
+		if err := runSoakSmoke(*requests, *treeN, *shapes, *cacheSnapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "soak-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
 	case *loadgen:
 		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces, *genSeed); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -114,6 +125,8 @@ func main() {
 			},
 			MaxConcurrent:  *maxConcurrent,
 			MaxQueue:       *maxQueue,
+			MaxProfiles:    *maxProfiles,
+			SnapshotPath:   *cacheSnapshot,
 			RequestTimeout: *timeout,
 			MaxBodyBytes:   *maxBody,
 			MaxBatch:       *maxBatch,

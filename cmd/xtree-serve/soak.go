@@ -1,0 +1,181 @@
+package main
+
+// soak.go is the soak/chaos self-check behind `xtree-serve -soak-smoke`
+// (and the CI soak job): it drives a real server through the full
+// lifecycle the snapshot feature exists for — load with fault-injected
+// simulations, graceful drain with a cache snapshot, restart, warm —
+// and fails unless the serving SLOs hold on both sides of the restart
+// and the warmed cache actually answers the post-restart traffic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xtreesim/internal/server"
+)
+
+// Soak SLOs.  The p99 bound is deliberately generous — CI machines are
+// slow and shared; the bound exists to catch hangs and collapse, not to
+// benchmark — while the error and recovery bounds are exact: nothing
+// about overload or restart may surface as a client-visible error.
+const (
+	soakMaxShedRate = 0.5             // ≤ half the closed-loop requests may shed
+	soakMaxP99      = 5 * time.Second // per-request p99, both phases
+)
+
+// runSoakSmoke exercises load → drain+snapshot → restart+warm → load.
+// snapPath "" means a temp file.
+func runSoakSmoke(requests, treeN, shapes int, snapPath string) error {
+	if snapPath == "" {
+		dir, err := os.MkdirTemp("", "xtree-soak")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		snapPath = filepath.Join(dir, "cache.snap")
+	}
+	cfg := server.Config{
+		SnapshotPath: snapPath,
+		AccessLog:    false,
+		Logger:       log.New(io.Discard, "", 0),
+	}
+
+	// Phase 1: cold server under embed load plus fault-injected
+	// simulations.
+	s1 := server.New(cfg)
+	if err := s1.Start(); err != nil {
+		return err
+	}
+	rep1, err := soakPhase(s1.URL(), requests, treeN, shapes)
+	if err != nil {
+		s1.Shutdown(context.Background())
+		return fmt.Errorf("phase 1: %w", err)
+	}
+	fmt.Printf("soak-smoke: phase 1 (cold): %s\n", rep1)
+	st1 := s1.Stats()
+	if st1.Misses == 0 {
+		s1.Shutdown(context.Background())
+		return fmt.Errorf("phase 1 ran no computes; the load never reached the engine")
+	}
+
+	// Mid-run restart: drain (writes the snapshot), then boot a fresh
+	// server on the same path (warms from it).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if fi, err := os.Stat(snapPath); err != nil {
+		return fmt.Errorf("drain wrote no snapshot: %w", err)
+	} else if fi.Size() == 0 {
+		return fmt.Errorf("drain wrote an empty snapshot")
+	}
+
+	s2 := server.New(cfg)
+	if err := s2.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	if warm := s2.Stats(); warm.WarmLoaded == 0 {
+		return fmt.Errorf("restarted server warmed nothing from the snapshot")
+	}
+
+	// Phase 2: the same request mix against the warmed server.  Every
+	// shape was cached before the restart, so the engine must answer
+	// from the warmed cache without a single fresh compute.
+	rep2, err := soakPhase(s2.URL(), requests, treeN, shapes)
+	if err != nil {
+		return fmt.Errorf("phase 2: %w", err)
+	}
+	fmt.Printf("soak-smoke: phase 2 (warm): %s\n", rep2)
+	st2 := s2.Stats()
+	if st2.Misses != 0 {
+		return fmt.Errorf("warmed server ran %d computes; cache-hit recovery failed", st2.Misses)
+	}
+	if rep2.CacheHits != rep2.OK {
+		return fmt.Errorf("warmed server answered %d of %d OKs from cache", rep2.CacheHits, rep2.OK)
+	}
+	fmt.Printf("soak-smoke: PASS (snapshot %s: loaded %d records, phase-2 hit rate 100%%)\n",
+		snapPath, st2.WarmLoaded)
+	return nil
+}
+
+// soakPhase runs one load phase — closed-loop embed traffic, then a
+// burst of fault-injected simulate requests — and enforces the SLOs.
+func soakPhase(url string, requests, treeN, shapes int) (*server.LoadReport, error) {
+	rep, err := server.RunLoad(server.LoadConfig{
+		BaseURL:        url,
+		Concurrency:    4,
+		Requests:       requests,
+		TreeN:          treeN,
+		DistinctShapes: shapes,
+		Seed:           42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors != 0 {
+		return rep, fmt.Errorf("%d requests errored (SLO: 0): %s", rep.Errors, rep)
+	}
+	if rate := float64(rep.Shed) / float64(rep.Requests); rate > soakMaxShedRate {
+		return rep, fmt.Errorf("shed rate %.2f over the %.2f SLO: %s", rate, soakMaxShedRate, rep)
+	}
+	if rep.P99 > soakMaxP99 {
+		return rep, fmt.Errorf("p99 %s over the %s SLO: %s", rep.P99, soakMaxP99, rep)
+	}
+	// Chaos leg: simulations over a lossy network (drops, corruptions,
+	// retransmits) must still complete and deliver.
+	for i := 0; i < 4; i++ {
+		if err := soakSimulate(url, treeN, int64(i)); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// soakSimulate drives one fault-injected /v1/simulate request.
+func soakSimulate(url string, treeN int, seed int64) error {
+	body, err := json.Marshal(server.SimulateRequest{
+		Tree:     &server.TreeSpec{Family: "random", N: treeN, Seed: server.Seed(seed + 1)},
+		Workload: server.WorkloadBroadcast,
+		Faults: &server.FaultSpec{
+			Seed:        seed + 1,
+			DropProb:    0.2,
+			CorruptProb: 0.05,
+			MaxRetries:  16,
+			BackoffBase: 1,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fault-injected simulate status %d: %s", resp.StatusCode, data)
+	}
+	var sr server.SimulateResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return fmt.Errorf("simulate body: %w", err)
+	}
+	if sr.Sim.Delivered == 0 {
+		return fmt.Errorf("fault-injected simulate delivered nothing: %s", data)
+	}
+	return nil
+}

@@ -110,6 +110,7 @@ func ReadResult(r io.Reader) (*Result, error) {
 		return nil, fmt.Errorf("core: invalid guest: %w", err)
 	}
 	assignment := make([]bitstr.Addr, guest.N())
+	seen := make([]bool, guest.N())
 	for i := range assignment {
 		assignment[i] = bitstr.Addr{Level: -1}
 	}
@@ -117,6 +118,10 @@ func ReadResult(r io.Reader) (*Result, error) {
 		if al.v >= guest.N() {
 			return nil, fmt.Errorf("core: assignment for unknown node %d", al.v)
 		}
+		if seen[al.v] {
+			return nil, fmt.Errorf("core: duplicate assignment for node %d", al.v)
+		}
+		seen[al.v] = true
 		assignment[al.v] = al.a
 	}
 	host := xtree.New(height)
@@ -128,5 +133,13 @@ func ReadResult(r io.Reader) (*Result, error) {
 			return nil, fmt.Errorf("core: node %d assigned outside X(%d)", v, height)
 		}
 	}
-	return &Result{Guest: guest, Host: host, Assignment: assignment}, nil
+	res := &Result{Guest: guest, Host: host, Assignment: assignment}
+	// The doc contract: a parsed file is re-validated, not trusted.  The
+	// checker is the independent implementation of the paper's conditions
+	// (load ≤ 16, condition (3′) on every edge), so a hand-edited or
+	// bit-rotted file cannot smuggle an invalid embedding back in.
+	if err := CheckInvariants(res); err != nil {
+		return nil, fmt.Errorf("core: parsed embedding fails validation: %w", err)
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -71,5 +72,43 @@ func TestReadResultErrors(t *testing.T) {
 	}
 	if res.Guest.N() != 1 || !res.Assignment[0].IsRoot() {
 		t.Error("parsed content wrong")
+	}
+}
+
+// TestReadResultRejectsDuplicateAssign pins the fix for the silent
+// last-writer-wins on repeated assign lines: the same node assigned twice
+// is a malformed file, not a quiet overwrite.
+func TestReadResultRejectsDuplicateAssign(t *testing.T) {
+	in := "xtreesim-embedding v1\nheight 0\nnode 0 -1 0\nassign 0 ε\nassign 0 ε\n"
+	if _, err := ReadResult(strings.NewReader(in)); err == nil {
+		t.Fatal("duplicate assign line accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("wrong error for duplicate assign: %v", err)
+	}
+}
+
+// TestReadResultRunsChecker pins the re-validation contract of the doc
+// comment: a syntactically valid file whose embedding violates the
+// paper's conditions must be rejected, not returned.
+func TestReadResultRunsChecker(t *testing.T) {
+	// Load violation: a 17-node chain packed onto the single root vertex
+	// of X(1) exceeds LoadTarget = 16.
+	var sb strings.Builder
+	sb.WriteString("xtreesim-embedding v1\nheight 1\n")
+	for v := 0; v < 17; v++ {
+		fmt.Fprintf(&sb, "node %d %d 0\n", v, v-1)
+	}
+	for v := 0; v < 17; v++ {
+		fmt.Fprintf(&sb, "assign %d ε\n", v)
+	}
+	if _, err := ReadResult(strings.NewReader(sb.String())); err == nil {
+		t.Error("overloaded vertex accepted")
+	}
+
+	// Adjacency violation: a guest edge mapped to two level-3 vertices on
+	// opposite flanks of X(3), far outside the N-relation.
+	in := "xtreesim-embedding v1\nheight 3\nnode 0 -1 0\nnode 1 0 0\nassign 0 000\nassign 1 111\n"
+	if _, err := ReadResult(strings.NewReader(in)); err == nil {
+		t.Error("edge outside the N-relation accepted")
 	}
 }

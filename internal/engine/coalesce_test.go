@@ -247,3 +247,54 @@ func TestCoalesceOffComputesIndependently(t *testing.T) {
 		t.Fatalf("coalesced %d with coalescing off", s.Coalesced)
 	}
 }
+
+// TestThunderingHerdStrictProfile proves coalescing applies to engines
+// running non-default option profiles — the profile-pool engines the
+// server now routes strict and height-pinned traffic through.  Before
+// the pool, that traffic bypassed the engine entirely and a herd of N
+// isomorphic strict requests cost N embeds; here it costs exactly one.
+func TestThunderingHerdStrictProfile(t *testing.T) {
+	const n = 16
+	var sawStrict atomic.Bool
+	gate, calls, restore := gateEmbeds(t, func(ctx context.Context, tr *bintree.Tree, opts core.Options) (*core.Result, error) {
+		if opts.Strict {
+			sawStrict.Store(true)
+		}
+		return core.EmbedXTreeContext(ctx, tr, opts)
+	})
+	defer restore()
+
+	strictOpts := core.DefaultOptions()
+	strictOpts.Strict = true
+	e := New(Config{Workers: n, CacheSize: 64, Options: &strictOpts})
+	defer e.Close()
+
+	base := mustGen(t, bintree.FamilyRandom, 256, 43)
+	trees := make([]*bintree.Tree, n)
+	trees[0] = base
+	for i := 1; i < n; i++ {
+		trees[i] = relabel(t, base, int64(i))
+	}
+
+	done := make(chan []BatchItem)
+	go func() { done <- e.EmbedBatch(context.Background(), trees) }()
+	waitCounter(t, n-1, func() int64 { return e.Stats().Coalesced })
+	close(gate)
+	items := <-done
+
+	for _, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", it.Index, it.Err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("strict herd ran %d computes, want exactly 1", got)
+	}
+	if !sawStrict.Load() {
+		t.Fatal("the strict engine's compute did not carry Strict options")
+	}
+	s := e.Stats()
+	if s.Misses != 1 || s.Coalesced != n-1 {
+		t.Fatalf("stats misses=%d coalesced=%d, want 1 and %d", s.Misses, s.Coalesced, n-1)
+	}
+}

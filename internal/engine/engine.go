@@ -192,6 +192,11 @@ type Stats struct {
 
 	EmbedNanos int64 // cumulative wall time inside core.EmbedXTree
 	CacheLen   int   // embeddings currently cached
+
+	// Snapshot/warm counters (see snapshot.go): records loaded into the
+	// cache by Warm, and records Warm rejected as corrupt or stale.
+	WarmLoaded  int64
+	WarmSkipped int64
 	// Observability counters: where submitted work spends its time.
 	QueueWaitNanos int64 // cumulative time jobs sat queued before a worker took them
 	BusyNanos      int64 // cumulative time workers spent processing jobs
@@ -288,6 +293,7 @@ type Engine struct {
 	nextIndex atomic.Int64
 
 	hits, misses, coalesced      atomic.Int64
+	warmLoaded, warmSkipped      atomic.Int64
 	inFlight                     atomic.Int64
 	submitted, completed, errCnt atomic.Int64
 	embedNanos                   atomic.Int64
@@ -441,6 +447,9 @@ func (e *Engine) Stats() Stats {
 		Completed:  e.completed.Load(),
 		Errors:     e.errCnt.Load(),
 		EmbedNanos: e.embedNanos.Load(),
+
+		WarmLoaded:  e.warmLoaded.Load(),
+		WarmSkipped: e.warmSkipped.Load(),
 
 		QueueWaitNanos: e.queueWaitNanos.Load(),
 		BusyNanos:      e.busyNanos.Load(),

@@ -25,6 +25,7 @@ package engine
 // shard, never on hits.
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -144,6 +145,30 @@ func (c *shardedLRU) put(hash uint64, key string, ent *cacheEntry) {
 	se := &shardEntry{ent: ent}
 	se.stamp.Store(stamp)
 	s.m[key] = se
+}
+
+// snapEntry pairs a cache key with its entry and last-access stamp for
+// snapshotting.
+type snapEntry struct {
+	key   string
+	ent   *cacheEntry
+	stamp int64
+}
+
+// snapshotEntries copies every cached entry, least recently used first,
+// so replaying the sequence through put reproduces the recency order.
+// Each shard is copied under its read lock; the cache stays serviceable.
+func (c *shardedLRU) snapshotEntries() []snapEntry {
+	var out []snapEntry
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for k, se := range s.m {
+			out = append(out, snapEntry{key: k, ent: se.ent, stamp: se.stamp.Load()})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].stamp < out[j].stamp })
+	return out
 }
 
 // len returns the number of cached embeddings across all shards.

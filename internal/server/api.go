@@ -23,6 +23,7 @@ const (
 	CodePayloadTooLarge  = "payload_too_large"
 	CodeShed             = "shed"
 	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeClientGone       = "client_gone"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeNotFound         = "not_found"
 	CodeInternal         = "internal"

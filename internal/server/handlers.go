@@ -38,13 +38,16 @@ func decodeJSON(r *http.Request, v interface{}) error {
 }
 
 // ctxError maps a context error to its API error (504 on deadline, 503
-// on client cancellation).
+// on client cancellation).  The two must carry distinct codes: a
+// deadline is the server running out of time — the client should retry
+// with a bigger budget — while a cancellation is the client leaving,
+// which no retry policy should act on.
 func ctxError(err error) *apiError {
 	if errors.Is(err, context.DeadlineExceeded) {
 		return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded,
 			msg: "deadline exceeded"}
 	}
-	return &apiError{status: statusClientGone, code: CodeDeadlineExceeded, msg: err.Error()}
+	return &apiError{status: statusClientGone, code: CodeClientGone, msg: err.Error()}
 }
 
 // handleEmbed implements POST /v1/embed.
@@ -95,11 +98,13 @@ func (s *Server) embedTrees(ctx context.Context, req *EmbedRequest, trees []*bin
 		return s.embedUniversal(ctx, trees)
 	}
 	items := make([]EmbedItem, len(trees))
-	// The shared engine is keyed to the theorem-default options; a
-	// request that overrides them runs the embedder directly so the
-	// cache stays sound.
-	if req.Height == 0 && !req.Strict {
-		for _, bi := range s.engine.EmbedBatch(ctx, trees) {
+	// Every option profile has (or lazily gets) its own engine, so
+	// strict and height-pinned traffic caches and coalesces like the
+	// default profile does.  engineFor only returns nil when more
+	// distinct profiles are live than the pool budget allows; that
+	// overflow traffic falls back to a direct, uncached compute.
+	if eng := s.pool.engineFor(profileOf(req)); eng != nil {
+		for _, bi := range eng.EmbedBatch(ctx, trees) {
 			// The deadline is request-scoped: when the context killed
 			// the batch, the whole request is a 504, not a 200 with
 			// every item errored.
@@ -237,9 +242,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 
-	// Embed through the shared engine: simulate requests of isomorphic
-	// trees reuse the cached embedding like embed requests do.
-	bi := s.engine.EmbedBatch(ctx, []*bintree.Tree{tree})[0]
+	// Embed through the default-profile engine: simulate requests of
+	// isomorphic trees reuse the cached embedding like embed requests do.
+	bi := s.pool.engineFor(profile{}).EmbedBatch(ctx, []*bintree.Tree{tree})[0]
 	if bi.Err != nil {
 		if errors.Is(bi.Err, context.DeadlineExceeded) || errors.Is(bi.Err, context.Canceled) {
 			writeAPIError(w, ctxError(bi.Err))
@@ -271,8 +276,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		cfg.Observers = append(cfg.Observers, netsim.NewSpanObserver(simSpan))
 	}
 	simRes, err := netsim.RunContext(ctx, cfg, req.workload(tree))
-	simSpan.SetAttr("cycles", int64(simRes.Cycles)).SetAttr("delivered", int64(simRes.Delivered)).End()
+	// Close the span either way, but only record the counters when the
+	// run succeeded: on error simRes is the zero value, and stamping
+	// cycles=0 delivered=0 onto the span would read as a real (absurd)
+	// measurement in the trace.
 	if err != nil {
+		simSpan.SetAttr("error", 1).End()
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeAPIError(w, ctxError(err))
 			return
@@ -282,6 +291,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, badRequest("simulate: %v", err))
 		return
 	}
+	simSpan.SetAttr("cycles", int64(simRes.Cycles)).SetAttr("delivered", int64(simRes.Delivered)).End()
 	resp := SimulateResponse{Embed: embItem, Sim: simCounters(simRes)}
 
 	if req.Baseline {
@@ -294,8 +304,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		// so one timing span suffices and the trace stays readable.
 		baseSpan := trace.FromContext(ctx).Child("simulate-baseline")
 		ideal, err := netsim.RunContext(ctx, idealCfg, req.workload(tree))
-		baseSpan.SetAttr("cycles", int64(ideal.Cycles)).End()
 		if err != nil {
+			baseSpan.SetAttr("error", 1).End()
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				writeAPIError(w, ctxError(err))
 				return
@@ -303,6 +313,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			writeAPIError(w, badRequest("baseline: %v", err))
 			return
 		}
+		baseSpan.SetAttr("cycles", int64(ideal.Cycles)).End()
 		resp.IdealCycles = ideal.Cycles
 		if ideal.Cycles > 0 {
 			resp.Slowdown = float64(simRes.Cycles) / float64(ideal.Cycles)

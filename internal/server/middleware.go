@@ -144,7 +144,7 @@ func (s *Server) guarded(route string, h http.HandlerFunc) http.Handler {
 				writeError(w, http.StatusTooManyRequests, CodeShed,
 					"admission queue full; retry later")
 			default: // client went away while queued
-				writeError(w, statusClientGone, CodeDeadlineExceeded, err.Error())
+				writeError(w, statusClientGone, CodeClientGone, err.Error())
 			}
 			return
 		}

@@ -1,0 +1,346 @@
+package server
+
+// pool.go is the multi-engine front: one batch engine per option
+// profile.  The PR 4 server shared a single engine keyed to the
+// theorem-default options, which kept the cache sound the blunt way —
+// any request that overrode them (strict mode, a pinned host height)
+// bypassed the engine entirely and recomputed from scratch, request
+// after request.  The embedding is deterministic per (canonical guest,
+// options), so the fix is structural: key engines on the option profile
+// and give every profile its own canonical cache and coalescer.
+//
+// Profiles are lazily materialized from one shared engine.Config
+// template, so a profile engine inherits the operator's worker count,
+// shard policy, coalescing mode and parallelism — only the embedding
+// options and the cache slice differ.  Memory stays budgeted: the
+// default profile keeps the full configured cache, secondary profiles
+// share an additional half-budget split over a fixed number of slots,
+// and a request beyond the last slot falls back to the PR 4 direct
+// path (counted in overflow) instead of growing without bound.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xtreesim/internal/core"
+	"xtreesim/internal/engine"
+)
+
+// DefaultMaxProfiles is the secondary-profile engine cap when
+// Config.MaxProfiles is 0.
+const DefaultMaxProfiles = 8
+
+// profile identifies one embedding-option class a request can ask for.
+// The zero value is the default profile (theorem options).
+type profile struct {
+	strict bool
+	height int // 0 = optimal height; > 0 pins the host
+}
+
+// profileOf derives the profile of an embed request.
+func profileOf(req *EmbedRequest) profile {
+	p := profile{strict: req.Strict}
+	if req.Height > 0 {
+		p.height = req.Height
+	}
+	return p
+}
+
+// String renders the metric label: "default", "strict", "height=4",
+// "strict+height=4".
+func (p profile) String() string {
+	switch {
+	case !p.strict && p.height == 0:
+		return "default"
+	case p.strict && p.height == 0:
+		return "strict"
+	case !p.strict:
+		return fmt.Sprintf("height=%d", p.height)
+	default:
+		return fmt.Sprintf("strict+height=%d", p.height)
+	}
+}
+
+// options returns the core options the profile's engine embeds with,
+// derived from the template's options.
+func (p profile) options(tmpl engine.Config) core.Options {
+	opts := core.DefaultOptions()
+	if tmpl.Options != nil {
+		opts = *tmpl.Options
+	}
+	opts.Strict = p.strict
+	if p.height > 0 {
+		opts.Height = p.height
+	}
+	return opts
+}
+
+// enginePool owns the per-profile engines.
+type enginePool struct {
+	template engine.Config
+	def      *engine.Engine // default profile; possibly caller-owned
+	ownsDef  bool
+
+	// secondaryCap is the cache capacity handed to each secondary
+	// profile engine; maxProfiles bounds how many exist at once.
+	secondaryCap int
+	maxProfiles  int
+
+	mu      sync.RWMutex
+	engines map[profile]*engine.Engine
+
+	overflow atomic.Int64 // requests that found every profile slot taken
+}
+
+// newEnginePool builds the pool.  shared, when non-nil, becomes the
+// default-profile engine without being owned (the caller closes it);
+// otherwise the default engine is built from the template verbatim, so
+// a zero template still resolves to engine.New(engine.Config{}) — the
+// defaults-drift guarantee.
+func newEnginePool(tmpl engine.Config, shared *engine.Engine, maxProfiles int) *enginePool {
+	if maxProfiles <= 0 {
+		maxProfiles = DefaultMaxProfiles
+	}
+	p := &enginePool{
+		template:    tmpl,
+		maxProfiles: maxProfiles,
+		engines:     make(map[profile]*engine.Engine),
+	}
+	// Budget: the total configured capacity goes to the default profile
+	// untouched; secondary profiles share one extra half-budget split
+	// evenly over the slots, so the pool's total capacity is bounded by
+	// 1.5× the configured cache regardless of traffic.
+	total := tmpl.CacheSize
+	switch {
+	case total == 0:
+		total = engine.DefaultCacheSize
+	case total < 0:
+		total = -1
+	}
+	if total < 0 {
+		p.secondaryCap = -1 // caching disabled everywhere
+	} else {
+		p.secondaryCap = total / 2 / maxProfiles
+		if p.secondaryCap < 1 {
+			p.secondaryCap = 1
+		}
+	}
+	if shared != nil {
+		p.def = shared
+	} else {
+		p.def = engine.New(tmpl)
+		p.ownsDef = true
+	}
+	return p
+}
+
+// engineFor returns the engine serving prof, creating it on first use.
+// It returns nil when every secondary slot is taken by other profiles —
+// the caller falls back to a direct, uncached compute.
+func (p *enginePool) engineFor(prof profile) *engine.Engine {
+	if prof == (profile{}) {
+		return p.def
+	}
+	p.mu.RLock()
+	e := p.engines[prof]
+	p.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.engines[prof]; e != nil {
+		return e
+	}
+	if len(p.engines) >= p.maxProfiles {
+		p.overflow.Add(1)
+		return nil
+	}
+	cfg := p.template
+	opts := prof.options(p.template)
+	cfg.Options = &opts
+	cfg.CacheSize = p.secondaryCap
+	// The shard count re-resolves against the smaller slice (normalize
+	// clamps shards to the capacity); everything else — workers,
+	// coalescing, parallelism — is inherited from the template.
+	e = engine.New(cfg)
+	p.engines[prof] = e
+	return e
+}
+
+// secondaries snapshots the non-default engines in deterministic
+// (label-sorted) order.
+func (p *enginePool) secondaries() []struct {
+	prof profile
+	eng  *engine.Engine
+} {
+	p.mu.RLock()
+	out := make([]struct {
+		prof profile
+		eng  *engine.Engine
+	}, 0, len(p.engines))
+	for prof, e := range p.engines {
+		out = append(out, struct {
+			prof profile
+			eng  *engine.Engine
+		}{prof, e})
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].prof.String() < out[j].prof.String() })
+	return out
+}
+
+// close shuts every pool-owned engine down and drains its results
+// channel so no worker can block on delivery.
+func (p *enginePool) close() {
+	if p.ownsDef {
+		p.def.Close()
+		for range p.def.Results() {
+		}
+	}
+	p.mu.Lock()
+	engines := p.engines
+	p.engines = make(map[profile]*engine.Engine)
+	p.mu.Unlock()
+	for _, e := range engines {
+		e.Close()
+		for range e.Results() {
+		}
+	}
+}
+
+// ProfileStat is one profile engine's identity and counters, surfaced
+// by Server.ProfileStats and the per-profile /metrics series.
+type ProfileStat struct {
+	Profile string
+	Stats   engine.Stats
+}
+
+// profileStats snapshots every engine, default first.
+func (p *enginePool) profileStats() []ProfileStat {
+	out := []ProfileStat{{Profile: profile{}.String(), Stats: p.def.Stats()}}
+	for _, s := range p.secondaries() {
+		out = append(out, ProfileStat{Profile: s.prof.String(), Stats: s.eng.Stats()})
+	}
+	return out
+}
+
+// aggregateStats merges every engine's counters into one Stats.  The
+// sizing fields (Workers, Shards, Uptime) report the default engine —
+// the one a drift test compares against engine.New(Config{}) — while
+// capacities, lengths and the work/cache counters sum across profiles.
+func (p *enginePool) aggregateStats() engine.Stats {
+	agg := p.def.Stats()
+	for _, s := range p.secondaries() {
+		st := s.eng.Stats()
+		agg.CacheCap += st.CacheCap
+		agg.CacheLen += st.CacheLen
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Coalesced += st.Coalesced
+		agg.Evictions += st.Evictions
+		agg.WarmLoaded += st.WarmLoaded
+		agg.WarmSkipped += st.WarmSkipped
+		agg.InFlight += st.InFlight
+		agg.Submitted += st.Submitted
+		agg.Completed += st.Completed
+		agg.Errors += st.Errors
+		agg.EmbedNanos += st.EmbedNanos
+		agg.QueueWaitNanos += st.QueueWaitNanos
+		agg.BusyNanos += st.BusyNanos
+	}
+	return agg
+}
+
+// snapshot writes every profile engine's cache section to w (default
+// profile first) and returns the total records written.  Sections are
+// self-describing — each starts with the snapshot magic and its profile
+// line — so warm can route them back without external bookkeeping.
+func (p *enginePool) snapshot(w io.Writer) (int, error) {
+	total, err := p.def.Snapshot(w)
+	if err != nil {
+		return total, err
+	}
+	for _, s := range p.secondaries() {
+		n, err := s.eng.Snapshot(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// warm splits a pool snapshot into its per-profile sections and feeds
+// each to the engine it belongs to, materializing profile engines as
+// needed.  Sections whose profile no longer fits a slot are counted as
+// skipped; per-record validation is the engine's job.
+func (p *enginePool) warm(r io.Reader) (engine.WarmStats, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return engine.WarmStats{}, err
+	}
+	var total engine.WarmStats
+	text := string(data)
+	if !strings.HasPrefix(text, snapshotMagicLine) {
+		return total, fmt.Errorf("server: not a cache snapshot")
+	}
+	for _, section := range strings.Split(text, snapshotMagicLine) {
+		if strings.TrimSpace(section) == "" {
+			continue
+		}
+		prof, ok := sectionProfile(section)
+		if !ok {
+			// No parsable profile line: count the section's records as
+			// skipped rather than guessing an engine.
+			total.Skipped += strings.Count(section, "\nentry ") + b2i(strings.HasPrefix(section, "entry "))
+			continue
+		}
+		eng := p.engineFor(prof)
+		if eng == nil {
+			total.Skipped += strings.Count(section, "\nentry ") + b2i(strings.HasPrefix(section, "entry "))
+			continue
+		}
+		ws, err := eng.Warm(strings.NewReader(snapshotMagicLine + section))
+		total.Loaded += ws.Loaded
+		total.Skipped += ws.Skipped
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// snapshotMagicLine mirrors the engine's section header (including the
+// newline, so splitting on it removes it exactly).
+const snapshotMagicLine = "xtreesim-cache v1\n"
+
+// sectionProfile parses the "profile strict=<b> height=<h>" line that
+// opens one snapshot section and maps it onto the pool's profile key
+// (height ≤ 0 — the optimal-height default — is the zero profile).
+func sectionProfile(section string) (profile, bool) {
+	line := section
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	var strict bool
+	var height int
+	if _, err := fmt.Sscanf(line, "profile strict=%t height=%d", &strict, &height); err != nil {
+		return profile{}, false
+	}
+	if height < 0 {
+		height = 0
+	}
+	return profile{strict: strict, height: height}, true
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

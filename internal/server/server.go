@@ -64,10 +64,24 @@ type Config struct {
 	Addr string
 
 	// Engine, when non-nil, is a caller-owned engine the server uses
-	// without closing.  When nil the server creates one from
-	// EngineConfig and closes it on Shutdown.
+	// as the default-profile engine without closing.  When nil the
+	// server creates one from EngineConfig and closes it on Shutdown.
+	// Either way EngineConfig is the template non-default option
+	// profiles (strict mode, pinned heights) derive their engines from.
 	Engine       *engine.Engine
 	EngineConfig engine.Config
+
+	// MaxProfiles bounds how many non-default option-profile engines
+	// the server materializes (≤ 0 means DefaultMaxProfiles).  Requests
+	// beyond the cap are still served, just without caching.
+	MaxProfiles int
+
+	// SnapshotPath, when non-empty, persists the canonical-tree caches
+	// across restarts: New warms every profile engine from the file if
+	// it exists, and Shutdown writes a fresh snapshot after the drain.
+	// A corrupt or stale file degrades to a cold start, never a failed
+	// boot.
+	SnapshotPath string
 
 	// MaxConcurrent bounds the API requests processed at once (≤ 0
 	// means GOMAXPROCS).  MaxQueue bounds the requests waiting for a
@@ -114,15 +128,15 @@ type Config struct {
 // Server is one serving process.  Create with New, boot with Start, stop
 // with Shutdown.
 type Server struct {
-	engine      *engine.Engine
-	ownsEngine  bool
-	admit       *admission
-	metrics     *serverMetrics
-	logger      *log.Logger
-	accessLog   bool
-	version     string
-	tracer      *trace.Tracer
-	enablePprof bool
+	pool         *enginePool
+	snapshotPath string
+	admit        *admission
+	metrics      *serverMetrics
+	logger       *log.Logger
+	accessLog    bool
+	version      string
+	tracer       *trace.Tracer
+	enablePprof  bool
 
 	requestTimeout time.Duration
 	maxBodyBytes   int64
@@ -149,12 +163,7 @@ func New(cfg Config) *Server {
 	if maxQueue < 0 {
 		maxQueue = 4 * maxConc
 	}
-	eng := cfg.Engine
-	owns := false
-	if eng == nil {
-		eng = engine.New(cfg.EngineConfig)
-		owns = true
-	}
+	pool := newEnginePool(cfg.EngineConfig, cfg.Engine, cfg.MaxProfiles)
 	logger := cfg.Logger
 	if logger == nil {
 		logger = log.New(os.Stderr, "xtree-serve ", log.LstdFlags|log.Lmsgprefix)
@@ -166,8 +175,8 @@ func New(cfg Config) *Server {
 		tracer = trace.New(trace.Config{SampleRate: cfg.TraceSample, RingSize: 1 << 15})
 	}
 	s := &Server{
-		engine:         eng,
-		ownsEngine:     owns,
+		pool:           pool,
+		snapshotPath:   cfg.SnapshotPath,
 		admit:          newAdmission(maxConc, maxQueue),
 		metrics:        newServerMetrics(),
 		logger:         logger,
@@ -204,7 +213,55 @@ func New(cfg Config) *Server {
 		ReadHeaderTimeout: 10 * time.Second,
 		ErrorLog:          logger,
 	}
+	if s.snapshotPath != "" {
+		s.warmFromSnapshot()
+	}
 	return s
+}
+
+// warmFromSnapshot fills the engine caches from the configured snapshot
+// file.  Any failure — missing file, foreign content, truncated records
+// — degrades to a cold start; boot never fails on cache state.
+func (s *Server) warmFromSnapshot() {
+	f, err := os.Open(s.snapshotPath)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logger.Printf("cache warm: open %s: %v (starting cold)", s.snapshotPath, err)
+		}
+		return
+	}
+	defer f.Close()
+	ws, err := s.pool.warm(f)
+	if err != nil {
+		s.logger.Printf("cache warm: %s: %v (loaded %d, skipped %d)", s.snapshotPath, err, ws.Loaded, ws.Skipped)
+		return
+	}
+	s.logger.Printf("cache warm: %s: loaded %d records, skipped %d", s.snapshotPath, ws.Loaded, ws.Skipped)
+}
+
+// writeSnapshot persists every profile engine's cache to the configured
+// path via a temp-file rename, so a crash mid-write can never clobber
+// the previous good snapshot with a torn one.
+func (s *Server) writeSnapshot() {
+	tmp := s.snapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.logger.Printf("cache snapshot: create %s: %v", tmp, err)
+		return
+	}
+	n, err := s.pool.snapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.snapshotPath)
+	}
+	if err != nil {
+		s.logger.Printf("cache snapshot: %s: %v", s.snapshotPath, err)
+		os.Remove(tmp)
+		return
+	}
+	s.logger.Printf("cache snapshot: %s: wrote %d records", s.snapshotPath, n)
 }
 
 // Handler returns the full route tree, usable directly with httptest.
@@ -296,13 +353,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	err := s.httpServer.Shutdown(ctx)
 	serveErr := <-s.serveErr
-	if s.ownsEngine {
-		s.engine.Close()
-		// The server never streams from Results, but drain defensively
-		// so engine workers can never block on delivery.
-		for range s.engine.Results() {
-		}
+	// Snapshot after the drain — every in-flight request has finished,
+	// so the caches are quiescent — and before closing the engines.
+	if s.snapshotPath != "" {
+		s.writeSnapshot()
 	}
+	s.pool.close()
 	if err == nil {
 		err = serveErr
 	}
@@ -344,5 +400,12 @@ func (s *Server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-// Stats exposes the engine counters (for the load generator's report).
-func (s *Server) Stats() engine.Stats { return s.engine.Stats() }
+// Stats exposes the engine counters aggregated across every profile
+// engine (for the load generator's report).  Sizing fields (Workers,
+// Shards, Uptime) report the default-profile engine; work and cache
+// counters sum over all profiles.
+func (s *Server) Stats() engine.Stats { return s.pool.aggregateStats() }
+
+// ProfileStats snapshots every materialized profile engine, default
+// profile first — the per-profile view behind /metrics.
+func (s *Server) ProfileStats() []ProfileStat { return s.pool.profileStats() }

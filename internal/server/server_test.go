@@ -27,11 +27,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
-		if s.ownsEngine {
-			s.engine.Close()
-			for range s.engine.Results() {
-			}
-		}
+		s.pool.close()
 	})
 	return s, ts
 }
@@ -176,7 +172,7 @@ func TestEmbedHostsHypercubeUniversalInjective(t *testing.T) {
 	}
 }
 
-func TestEmbedWithHeightBypassesEngine(t *testing.T) {
+func TestEmbedWithHeightUsesProfileEngine(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	resp, data := postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
 		Tree: &TreeSpec{Family: "path", N: 100, Seed: Seed(1)}, Height: 8,
@@ -188,8 +184,24 @@ func TestEmbedWithHeightBypassesEngine(t *testing.T) {
 	if it.Height != 8 {
 		t.Errorf("forced height not honored: %+v", it)
 	}
-	if st := s.Stats(); st.Submitted != 0 {
-		t.Errorf("non-default options leaked into the shared engine (submitted=%d)", st.Submitted)
+	// The request must run on the height=8 profile engine — never leak
+	// into the default engine's cache, never bypass caching entirely.
+	profiles := s.ProfileStats()
+	if profiles[0].Profile != "default" || profiles[0].Stats.Submitted != 0 {
+		t.Errorf("height-pinned request leaked into the default engine: %+v", profiles[0])
+	}
+	if len(profiles) != 2 || profiles[1].Profile != "height=8" || profiles[1].Stats.Submitted != 1 {
+		t.Fatalf("height-pinned request not routed to a profile engine: %+v", profiles)
+	}
+	// An isomorphic repeat is answered from that profile's cache.
+	resp, data = postJSON(t, ts.URL+"/v1/embed", EmbedRequest{
+		Tree: &TreeSpec{Family: "path", N: 100, Seed: Seed(9)}, Height: 8,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("repeat status %d: %s", resp.StatusCode, data)
+	}
+	if it := decodeEmbed(t, data).Items[0]; !it.CacheHit {
+		t.Error("isomorphic height-pinned repeat was not a cache hit")
 	}
 }
 
@@ -370,6 +382,49 @@ func TestDeadlineExceededMapsTo504(t *testing.T) {
 	var eb ErrorBody
 	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code != CodeDeadlineExceeded {
 		t.Errorf("504 body: %s", data)
+	}
+}
+
+// TestTimeoutAndCancelCarryDistinctCodes pins the ctxError mapping: a
+// 504 (server ran out of time — retry with a bigger budget) and a 503
+// (client went away — nothing to retry) must be distinguishable by
+// code, not just by status.
+func TestTimeoutAndCancelCarryDistinctCodes(t *testing.T) {
+	d := ctxError(context.DeadlineExceeded)
+	if d.status != http.StatusGatewayTimeout || d.code != CodeDeadlineExceeded {
+		t.Errorf("deadline maps to %d/%s, want 504/%s", d.status, d.code, CodeDeadlineExceeded)
+	}
+	c := ctxError(context.Canceled)
+	if c.status != statusClientGone || c.code != CodeClientGone {
+		t.Errorf("cancel maps to %d/%s, want %d/%s", c.status, c.code, statusClientGone, CodeClientGone)
+	}
+	if d.code == c.code {
+		t.Error("timeout and client-gone share one code; retry policies cannot tell them apart")
+	}
+}
+
+// TestQueuedClientGoneCode: a request whose client disappears while it
+// waits in the admission queue answers 503 with the client_gone code,
+// not deadline_exceeded.
+func TestQueuedClientGoneCode(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1, Logger: log.New(io.Discard, "", 0)})
+	defer s.pool.close()
+	// Occupy the only slot so the request must queue.
+	if err := s.admit.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.admit.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before a slot frees
+	req := httptest.NewRequest("POST", "/v1/embed", strings.NewReader(`{}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.guarded("/v1/embed", s.handleEmbed).ServeHTTP(rec, req)
+	if rec.Code != statusClientGone {
+		t.Fatalf("status %d, want %d: %s", rec.Code, statusClientGone, rec.Body.String())
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code != CodeClientGone {
+		t.Errorf("queued client-gone body: %s", rec.Body.String())
 	}
 }
 
@@ -581,7 +636,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Error("no request was served before the shutdown; the test raced itself")
 	}
 	// Post-shutdown: the engine is closed; submits fail cleanly.
-	if _, err := s.engine.Submit(context.Background(), bintree.Path(3)); err != engine.ErrClosed {
+	if _, err := s.pool.def.Submit(context.Background(), bintree.Path(3)); err != engine.ErrClosed {
 		t.Errorf("engine after shutdown: %v, want ErrClosed", err)
 	}
 	// Second shutdown is a no-op.
@@ -616,11 +671,7 @@ func TestSharedEngineAcrossServers(t *testing.T) {
 
 func TestPanicRecoveryMiddleware(t *testing.T) {
 	s := New(Config{Logger: log.New(io.Discard, "", 0)})
-	defer func() {
-		s.engine.Close()
-		for range s.engine.Results() {
-		}
-	}()
+	defer s.pool.close()
 	h := s.instrument("boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	})

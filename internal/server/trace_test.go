@@ -201,6 +201,41 @@ func TestLoadgenTraceTagging(t *testing.T) {
 	}
 }
 
+// TestSimulateSpanOnError: a simulation that dies (here the cycle cap
+// is far too small for the workload) must still close its span — marked
+// with the error attr — and must NOT stamp the zero-value cycles and
+// delivered counters onto it as if they were measurements.
+func TestSimulateSpanOnError(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1})
+	_, ts := newTestServer(t, Config{Tracer: tr})
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Tree:      &TreeSpec{Family: "random", N: 150, Seed: Seed(11)},
+		Workload:  WorkloadBroadcast,
+		MaxCycles: 1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cycle-capped simulate status %d, want 400: %s", resp.StatusCode, data)
+	}
+	var simSpan *trace.SpanData
+	for _, sd := range tr.Spans() {
+		if sd.Name == "simulate" {
+			sd := sd
+			simSpan = &sd
+		}
+	}
+	if simSpan == nil {
+		t.Fatal("failed simulation exported no simulate span (span leaked unended?)")
+	}
+	if _, ok := simSpan.Attrs.Get("error"); !ok {
+		t.Errorf("failed simulate span is not marked error: %+v", simSpan.Attrs)
+	}
+	for _, key := range []string{"cycles", "delivered"} {
+		if v, ok := simSpan.Attrs.Get(key); ok {
+			t.Errorf("failed simulate span carries fabricated %s=%d", key, v)
+		}
+	}
+}
+
 // TestDebugTraceChromeFormat asserts the ?format=chrome view is valid
 // Chrome trace-event JSON.
 func TestDebugTraceChromeFormat(t *testing.T) {
