@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke soak-smoke warm-bench
+.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke soak-smoke warm-bench dist-smoke dist-bench
 
 all: vet test
 
@@ -52,12 +52,13 @@ experiments:
 fault-sweep:
 	$(GO) run ./cmd/xtree-bench -exp e16
 
-# Short fuzz of the netsim fault layer (determinism + counter invariants)
-# and of the cache-snapshot parser (arbitrary bytes must never panic or
-# corrupt the cache).
+# Short fuzz of the netsim fault layer (determinism + counter invariants),
+# the cache-snapshot parser, and the distsim exchange codec (arbitrary
+# bytes must never panic; accepted frames must re-encode identically).
 fuzz:
 	$(GO) test -run Fuzz -fuzz=FuzzNetsimFaults -fuzztime=10s ./internal/netsim
 	$(GO) test -run Fuzz -fuzz=FuzzWarm -fuzztime=10s ./internal/engine
+	$(GO) test -run Fuzz -fuzz=FuzzExchange -fuzztime=10s ./internal/distsim
 
 # E1 + the simulator experiments with the LinkAudit invariant checker
 # attached to every run: any model violation aborts with a violation list.
@@ -102,6 +103,20 @@ scale-smoke:
 # one compute for a previously-seen shape.
 soak-smoke:
 	$(GO) run ./cmd/xtree-serve -soak-smoke -n 300 -tree-n 600 -shapes 8
+
+# The partitioned-simulation gate (also the CI dist job): the same
+# /v1/simulate request run single-process and sharded over 4
+# epoch-barrier workers must return byte-identical counters, the
+# response must break the run down by shard, the xtreesim_dist_*
+# metric families must be live, and an over-cap partition count must
+# be a 400.
+dist-smoke:
+	$(GO) run ./cmd/xtree-serve -dist-smoke
+
+# E22 only: partition-scaling sweep of the distributed simulator with
+# the per-shard LinkAudit attached; writes BENCH_dist.json.
+dist-bench:
+	$(GO) run ./cmd/xtree-bench -exp e22 -audit
 
 # E21 only: restart-with-snapshot vs cold-restart comparison table.
 warm-bench:

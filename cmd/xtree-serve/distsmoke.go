@@ -1,0 +1,134 @@
+package main
+
+// distsmoke.go is the `-dist-smoke` self-check behind `make dist-smoke`
+// and the CI dist job: it boots a real server and verifies the
+// partitioned-simulation path end to end — the same /v1/simulate request
+// run single-process and sharded over 4 epoch-barrier workers must
+// return byte-identical counters, the partitioned response must carry
+// the shard breakdown, /metrics must expose the xtreesim_dist_*
+// families, and an over-cap partition count must be rejected with a 400.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"xtreesim/internal/server"
+)
+
+func runDistSmoke() error {
+	s := server.New(server.Config{Version: "dist-smoke"})
+	if err := s.Start(); err != nil {
+		return err
+	}
+	defer shutdown(s)
+	url := s.URL()
+
+	simReq := func(partitions int) server.SimulateRequest {
+		return server.SimulateRequest{
+			Tree:       &server.TreeSpec{Family: "random", N: 600, Seed: server.Seed(7)},
+			Workload:   "divide-conquer",
+			Waves:      2,
+			Faults:     &server.FaultSpec{Seed: 5, DropProb: 0.02, CorruptProb: 0.02},
+			Partitions: partitions,
+		}
+	}
+	post := func(req server.SimulateRequest) (*http.Response, []byte, error) {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := http.Post(url+"/v1/simulate", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data, err
+	}
+
+	// Single-process reference, then the same request over 4 shards.
+	resp, data, err := post(simReq(0))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("single-process simulate: status %d: %s", resp.StatusCode, data)
+	}
+	var single server.SimulateResponse
+	if err := json.Unmarshal(data, &single); err != nil {
+		return fmt.Errorf("single-process decode: %w", err)
+	}
+	if single.Dist != nil {
+		return fmt.Errorf("single-process response carries dist info: %+v", single.Dist)
+	}
+
+	resp, data, err = post(simReq(4))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("partitioned simulate: status %d: %s", resp.StatusCode, data)
+	}
+	var dist server.SimulateResponse
+	if err := json.Unmarshal(data, &dist); err != nil {
+		return fmt.Errorf("partitioned decode: %w", err)
+	}
+	if single.Sim != dist.Sim {
+		return fmt.Errorf("partitioned counters diverge from single-process:\n single: %+v\n dist:   %+v",
+			single.Sim, dist.Sim)
+	}
+	di := dist.Dist
+	if di == nil || di.Partitions != 4 || len(di.Shards) != 4 {
+		return fmt.Errorf("partitioned response missing shard breakdown: %+v", di)
+	}
+	if di.BoundaryMessages <= 0 || di.BoundaryBytes <= 0 {
+		return fmt.Errorf("no cross-shard traffic recorded: %+v", di)
+	}
+	totalHops := 0
+	for i, sh := range di.Shards {
+		if sh.Vertices <= 0 || sh.Links <= 0 {
+			return fmt.Errorf("shard %d owns nothing: %+v", i, sh)
+		}
+		totalHops += sh.Hops
+	}
+	if totalHops != dist.Sim.HopsTotal {
+		return fmt.Errorf("shard hops sum to %d, result says %d", totalHops, dist.Sim.HopsTotal)
+	}
+	fmt.Printf("dist-smoke: counters identical across 4 shards (cycles=%d delivered=%d boundary=%d msgs)\n",
+		dist.Sim.Cycles, dist.Sim.Delivered, di.BoundaryMessages)
+
+	// The dist metric families must be live after a partitioned run.
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mdata)
+	for _, want := range []string{
+		`xtreesim_dist_runs_total{partitions="4"} 1`,
+		"xtreesim_dist_boundary_messages_total",
+		"xtreesim_dist_boundary_bytes_total",
+		`xtreesim_dist_partition_hops_total{partition="0"}`,
+		`xtreesim_dist_partition_boundary_out_total{partition="0"}`,
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics: missing %q", want)
+		}
+	}
+
+	// An over-cap partition count is the client's mistake, not a 500.
+	resp, data, err = post(simReq(server.MaxSimPartitions + 1))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("partitions=%d: status %d (want 400): %s",
+			server.MaxSimPartitions+1, resp.StatusCode, data)
+	}
+	return nil
+}

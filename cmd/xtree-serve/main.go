@@ -11,6 +11,7 @@
 //	xtree-serve -trace-smoke                # tracing self-check: one traced request, validated export
 //	xtree-serve -scale-smoke                # concurrency self-check: loadgen at c=1 vs c=8
 //	xtree-serve -soak-smoke                 # soak/chaos self-check: load, faults, snapshot restart, warm
+//	xtree-serve -dist-smoke                 # partitioned-simulation self-check: sharded vs single-process
 //	xtree-serve -cache-snapshot cache.snap  # serve with cache persistence across restarts
 //	xtree-serve -version
 //
@@ -74,6 +75,7 @@ func main() {
 		traceSmoke = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
 		scaleSmoke = flag.Bool("scale-smoke", false, "run the concurrency-scaling self-check and exit (0 = pass)")
 		soakSmoke  = flag.Bool("soak-smoke", false, "run the soak/chaos self-check (load, fault-injected sims, snapshot restart, warm) and exit (0 = pass)")
+		distSmoke  = flag.Bool("dist-smoke", false, "run the partitioned-simulation self-check (sharded vs single-process counters, dist metrics) and exit (0 = pass)")
 		verFlag    = flag.Bool("version", false, "print build info and exit")
 		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
@@ -104,6 +106,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "soak-smoke: FAIL: %v\n", err)
 			os.Exit(1)
 		}
+	case *distSmoke:
+		if err := runDistSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "dist-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("dist-smoke: PASS")
 	case *loadgen:
 		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces, *genSeed); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	xtree-sim -family complete -n 1008 -workload divideconquer -waves 4 -placement monien
+//	xtree-sim -family random -n 1008 -workload scan -partitions 4
 package main
 
 import (
@@ -26,14 +27,15 @@ func main() {
 	workload := flag.String("workload", "divideconquer", "divideconquer|broadcast|exchange|scan")
 	waves := flag.Int("waves", 1, "pipelined waves (divideconquer) or rounds (exchange)")
 	placement := flag.String("placement", "monien", "monien|dfs|bfs|random")
+	partitions := flag.Int("partitions", 0, "shard the host simulation across this many epoch-barrier workers (0/1 = single-process; results are identical)")
 	flag.Parse()
-	if err := run(os.Stdout, *family, *n, *seed, *workload, *waves, *placement); err != nil {
+	if err := run(os.Stdout, *family, *n, *seed, *workload, *waves, *placement, *partitions); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run executes one simulation comparison and prints the report.
-func run(w io.Writer, family string, n int, seed int64, workload string, waves int, placement string) error {
+func run(w io.Writer, family string, n int, seed int64, workload string, waves int, placement string, partitions int) error {
 	tree, err := xtreesim.GenerateTree(xtreesim.Family(family), n, seed)
 	if err != nil {
 		return err
@@ -73,7 +75,7 @@ func run(w io.Writer, family string, n int, seed int64, workload string, waves i
 		if err != nil {
 			return err
 		}
-		hostRes, err = xtreesim.SimulateOnXTree(res, wl)
+		hostRes, err = xtreesim.SimulateOnXTree(res, wl, xtreesim.WithPartitions(partitions))
 		if err != nil {
 			return err
 		}
@@ -103,7 +105,8 @@ func run(w io.Writer, family string, n int, seed int64, workload string, waves i
 		if err != nil {
 			return err
 		}
-		hostRes, err = xtreesim.Simulate(netsim.Config{Host: base.Host.AsGraph(), Place: place}, wl)
+		hostRes, err = xtreesim.Simulate(netsim.Config{Host: base.Host.AsGraph(), Place: place}, wl,
+			xtreesim.WithPartitions(partitions))
 		if err != nil {
 			return err
 		}
@@ -112,6 +115,9 @@ func run(w io.Writer, family string, n int, seed int64, workload string, waves i
 		return fmt.Errorf("unknown placement %q", placement)
 	}
 
+	if partitions > 1 {
+		fmt.Fprintf(w, "partitions: %d epoch-barrier shards (results identical to single-process)\n", partitions)
+	}
 	fmt.Fprintf(w, "ideal binary-tree machine : %d cycles\n", ideal.Cycles)
 	fmt.Fprintf(w, "X-tree machine            : %d cycles\n", hostRes.Cycles)
 	slow := 0.0

@@ -8,7 +8,7 @@ import (
 func TestRunWorkloadsAndPlacements(t *testing.T) {
 	for _, wl := range []string{"divideconquer", "broadcast", "exchange", "scan"} {
 		var sb strings.Builder
-		if err := run(&sb, "random", 240, 1, wl, 2, "monien"); err != nil {
+		if err := run(&sb, "random", 240, 1, wl, 2, "monien", 0); err != nil {
 			t.Fatalf("%s: %v", wl, err)
 		}
 		out := sb.String()
@@ -18,7 +18,7 @@ func TestRunWorkloadsAndPlacements(t *testing.T) {
 	}
 	for _, pl := range []string{"dfs", "bfs", "random"} {
 		var sb strings.Builder
-		if err := run(&sb, "complete", 240, 1, "broadcast", 1, pl); err != nil {
+		if err := run(&sb, "complete", 240, 1, "broadcast", 1, pl, 0); err != nil {
 			t.Fatalf("%s: %v", pl, err)
 		}
 		if !strings.Contains(sb.String(), "pack dilation=") {
@@ -27,15 +27,35 @@ func TestRunWorkloadsAndPlacements(t *testing.T) {
 	}
 }
 
+// TestRunPartitioned pins the CLI's distsim path: the same run sharded
+// over 4 workers must print identical cycle counts plus the partition
+// banner.
+func TestRunPartitioned(t *testing.T) {
+	var single, dist strings.Builder
+	if err := run(&single, "random", 240, 1, "divideconquer", 2, "monien", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&dist, "random", 240, 1, "divideconquer", 2, "monien", 4); err != nil {
+		t.Fatal(err)
+	}
+	do := dist.String()
+	if !strings.Contains(do, "partitions: 4") {
+		t.Errorf("no partition banner in %q", do)
+	}
+	if got := strings.Replace(do, "partitions: 4 epoch-barrier shards (results identical to single-process)\n", "", 1); got != single.String() {
+		t.Errorf("partitioned report diverges:\n dist:   %q\n single: %q", got, single.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "random", 100, 1, "nope", 1, "monien"); err == nil {
+	if err := run(&sb, "random", 100, 1, "nope", 1, "monien", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run(&sb, "random", 100, 1, "scan", 1, "teleport"); err == nil {
+	if err := run(&sb, "random", 100, 1, "scan", 1, "teleport", 0); err == nil {
 		t.Error("unknown placement accepted")
 	}
-	if err := run(&sb, "nofamily", 100, 1, "scan", 1, "monien"); err == nil {
+	if err := run(&sb, "nofamily", 100, 1, "scan", 1, "monien", 0); err == nil {
 		t.Error("unknown family accepted")
 	}
 }

@@ -1,0 +1,122 @@
+package distsim
+
+// The exchange codec serializes boundary messages crossing partitions.
+// Workers talk to each other exclusively through encoded frames, so a
+// later PR can swap the in-process channels for TCP connections without
+// touching the cycle loop: the frame is the wire protocol.
+//
+// Frame layout (little-endian, fixed width):
+//
+//	offset  size  field
+//	0       4     magic "XDS1"
+//	4       4     cycle (uint32)
+//	8       2     sending shard (uint16)
+//	10      4     record count (uint32)
+//	14      57·n  records
+//
+// Each record:
+//
+//	srcEdge u32 · at u32 · evFrom u32 · evTo u32 · kind u32 ·
+//	payload u64 · seq u64 · srcHost u32 · dstHost u32 · sentAt u64 ·
+//	attempts u32 · flags u8 (bit0 corrupt, bit1 rerouted)
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xtreesim/internal/netsim"
+)
+
+const (
+	frameMagic   = "XDS1"
+	headerSize   = 14
+	recordSize   = 57
+	flagCorrupt  = 1 << 0
+	flagRerouted = 1 << 1
+	// maxFrameRecords bounds Decode allocation against hostile input.
+	maxFrameRecords = 1 << 26
+)
+
+// EncodeFrame serializes one shard-to-shard batch of boundary messages.
+func EncodeFrame(cycle int, from int32, msgs []netsim.Boundary) []byte {
+	buf := make([]byte, headerSize+recordSize*len(msgs))
+	copy(buf, frameMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(cycle))
+	binary.LittleEndian.PutUint16(buf[8:], uint16(from))
+	binary.LittleEndian.PutUint32(buf[10:], uint32(len(msgs)))
+	off := headerSize
+	for _, b := range msgs {
+		m := b.Msg
+		binary.LittleEndian.PutUint32(buf[off+0:], uint32(b.SrcEdge))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(b.At))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(m.Ev.From))
+		binary.LittleEndian.PutUint32(buf[off+12:], uint32(m.Ev.To))
+		binary.LittleEndian.PutUint32(buf[off+16:], uint32(m.Ev.Kind))
+		binary.LittleEndian.PutUint64(buf[off+20:], uint64(m.Ev.Payload))
+		binary.LittleEndian.PutUint64(buf[off+28:], uint64(m.Seq))
+		binary.LittleEndian.PutUint32(buf[off+36:], uint32(m.SrcHost))
+		binary.LittleEndian.PutUint32(buf[off+40:], uint32(m.DstHost))
+		binary.LittleEndian.PutUint64(buf[off+44:], uint64(m.SentAt))
+		binary.LittleEndian.PutUint32(buf[off+52:], uint32(m.Attempts))
+		var flags byte
+		if m.Corrupt {
+			flags |= flagCorrupt
+		}
+		if m.Rerouted {
+			flags |= flagRerouted
+		}
+		buf[off+56] = flags
+		off += recordSize
+	}
+	return buf
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame.  It validates the
+// magic, the length, and every record's flag bits; arbitrary input yields
+// an error, never a panic.
+func DecodeFrame(buf []byte) (cycle int, from int32, msgs []netsim.Boundary, err error) {
+	if len(buf) < headerSize {
+		return 0, 0, nil, fmt.Errorf("distsim: frame truncated: %d bytes", len(buf))
+	}
+	if string(buf[:4]) != frameMagic {
+		return 0, 0, nil, fmt.Errorf("distsim: bad frame magic %q", buf[:4])
+	}
+	cycle = int(binary.LittleEndian.Uint32(buf[4:]))
+	from = int32(binary.LittleEndian.Uint16(buf[8:]))
+	count := binary.LittleEndian.Uint32(buf[10:])
+	if count > maxFrameRecords {
+		return 0, 0, nil, fmt.Errorf("distsim: frame claims %d records", count)
+	}
+	if want := headerSize + recordSize*int(count); len(buf) != want {
+		return 0, 0, nil, fmt.Errorf("distsim: frame length %d, want %d for %d records", len(buf), want, count)
+	}
+	msgs = make([]netsim.Boundary, 0, count)
+	off := headerSize
+	for i := uint32(0); i < count; i++ {
+		flags := buf[off+56]
+		if flags&^(byte(flagCorrupt)|byte(flagRerouted)) != 0 {
+			return 0, 0, nil, fmt.Errorf("distsim: record %d has unknown flag bits %#x", i, flags)
+		}
+		msgs = append(msgs, netsim.Boundary{
+			SrcEdge: int(binary.LittleEndian.Uint32(buf[off+0:])),
+			At:      int32(binary.LittleEndian.Uint32(buf[off+4:])),
+			Msg: netsim.WireMsg{
+				Ev: netsim.Event{
+					From:    int32(binary.LittleEndian.Uint32(buf[off+8:])),
+					To:      int32(binary.LittleEndian.Uint32(buf[off+12:])),
+					Kind:    int32(binary.LittleEndian.Uint32(buf[off+16:])),
+					Payload: int64(binary.LittleEndian.Uint64(buf[off+20:])),
+				},
+				Seq:      int64(binary.LittleEndian.Uint64(buf[off+28:])),
+				SrcHost:  int32(binary.LittleEndian.Uint32(buf[off+36:])),
+				DstHost:  int32(binary.LittleEndian.Uint32(buf[off+40:])),
+				SentAt:   int(int64(binary.LittleEndian.Uint64(buf[off+44:]))),
+				Attempts: int(binary.LittleEndian.Uint32(buf[off+52:])),
+				Corrupt:  flags&flagCorrupt != 0,
+				Rerouted: flags&flagRerouted != 0,
+			},
+		})
+		off += recordSize
+	}
+	return cycle, from, msgs, nil
+}

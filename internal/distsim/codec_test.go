@@ -1,0 +1,87 @@
+package distsim
+
+import (
+	"reflect"
+	"testing"
+
+	"xtreesim/internal/netsim"
+)
+
+func sampleBoundaries() []netsim.Boundary {
+	return []netsim.Boundary{
+		{SrcEdge: 0, At: 0, Msg: netsim.WireMsg{}},
+		{SrcEdge: 4121, At: 93, Msg: netsim.WireMsg{
+			Ev:  netsim.Event{From: 3, To: 77, Kind: 2, Payload: -12345678901},
+			Seq: 1 << 40, SrcHost: 5, DstHost: 93, SentAt: 1029, Attempts: 3,
+			Corrupt: true, Rerouted: true,
+		}},
+		{SrcEdge: 7, At: 2, Msg: netsim.WireMsg{
+			Ev:  netsim.Event{From: -1, To: -2, Kind: -3, Payload: 9},
+			Seq: -4, SrcHost: -5, DstHost: -6, SentAt: -7, Attempts: 0,
+			Corrupt: false, Rerouted: true,
+		}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, msgs := range [][]netsim.Boundary{nil, sampleBoundaries()} {
+		frame := EncodeFrame(17, 3, msgs)
+		cycle, from, got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycle != 17 || from != 3 {
+			t.Fatalf("header: cycle %d from %d", cycle, from)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("count: %d vs %d", len(got), len(msgs))
+		}
+		for i := range msgs {
+			if !reflect.DeepEqual(got[i], msgs[i]) {
+				t.Fatalf("record %d: %+v vs %+v", i, got[i], msgs[i])
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	frame := EncodeFrame(1, 0, sampleBoundaries())
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      frame[:10],
+		"bad magic":  append([]byte("NOPE"), frame[4:]...),
+		"truncated":  frame[:len(frame)-1],
+		"extra":      append(append([]byte(nil), frame...), 0),
+		"bad flags":  func() []byte { f := append([]byte(nil), frame...); f[len(f)-1] = 0xFF; return f }(),
+		"count lies": func() []byte { f := append([]byte(nil), frame...); f[10] = 200; return f }(),
+		"count flood": func() []byte {
+			f := append([]byte(nil), frame[:headerSize]...)
+			f[10], f[11], f[12], f[13] = 0xFF, 0xFF, 0xFF, 0x7F
+			return f
+		}(),
+	}
+	for name, buf := range cases {
+		if _, _, _, err := DecodeFrame(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzExchange pins the codec against arbitrary bytes: DecodeFrame must
+// never panic, and any frame it accepts must re-encode to the same bytes.
+func FuzzExchange(f *testing.F) {
+	f.Add(EncodeFrame(1, 0, nil))
+	f.Add(EncodeFrame(99, 7, sampleBoundaries()))
+	f.Add([]byte("XDS1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cycle, from, msgs, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		re := EncodeFrame(cycle, from, msgs)
+		if !reflect.DeepEqual(re, data) {
+			t.Fatalf("accepted frame does not round-trip:\n in:  %x\n out: %x", data, re)
+		}
+	})
+}

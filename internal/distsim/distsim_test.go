@@ -1,0 +1,259 @@
+package distsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/graph"
+	"xtreesim/internal/netsim"
+	"xtreesim/internal/xtree"
+)
+
+// stripPrefix normalizes error messages across the two runners: the texts
+// are identical except for the package prefix.
+func stripPrefix(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	s = strings.TrimPrefix(s, "netsim: ")
+	s = strings.TrimPrefix(s, "distsim: ")
+	return s
+}
+
+// scatter places guest process i on host vertex (i*7) mod v: co-located
+// pairs, boundary crossings, and non-identity routes all occur.
+func scatter(n, v int) []int32 {
+	place := make([]int32, n)
+	for i := range place {
+		place[i] = int32((i * 7) % v)
+	}
+	return place
+}
+
+func TestDistsimByteIdentical(t *testing.T) {
+	xt := xtree.New(6) // 127 vertices
+	host := xt.AsGraph()
+	v := host.N()
+	tr := bintree.CompleteN(63)
+	place := scatter(tr.N(), v)
+
+	workloads := map[string]func() netsim.Workload{
+		"divide":    func() netsim.Workload { return netsim.NewDivideConquer(tr, 2) },
+		"broadcast": func() netsim.Workload { return netsim.NewBroadcast(tr) },
+		"reduction": func() netsim.Workload { return netsim.NewScan(tr) },
+		"exchange":  func() netsim.Workload { return netsim.NewExchange(tr, 3) },
+	}
+	plans := map[string]*netsim.FaultPlan{
+		"faultfree": nil,
+		"kills": {
+			Seed:        11,
+			VertexKills: []netsim.VertexKill{{V: 9, Cycle: 4}, {V: 40, Cycle: 7}},
+			LinkKills:   []netsim.LinkKill{{U: 1, V: 2, Cycle: 3}, {U: 5, V: 11, Cycle: 6}},
+		},
+		"probs":    {Seed: 42, DropProb: 0.05, CorruptProb: 0.05},
+		"combined": {Seed: 7, DropProb: 0.03, CorruptProb: 0.04, VertexKills: []netsim.VertexKill{{V: 21, Cycle: 5}}},
+	}
+
+	for wlName, mkWL := range workloads {
+		for planName, plan := range plans {
+			base := netsim.Config{Host: host, Place: place, Faults: plan, MaxCycles: 4000}
+			refTrace := netsim.NewTraceRecorder()
+			refCfg := base
+			refCfg.Observers = []netsim.Observer{refTrace}
+			refRes, refErr := netsim.Run(refCfg, mkWL())
+			for _, parts := range []int{1, 2, 4, 8} {
+				name := wlName + "/" + planName + "/p" + string(rune('0'+parts))
+				t.Run(name, func(t *testing.T) {
+					trace := netsim.NewTraceRecorder()
+					cfg := base
+					cfg.Observers = []netsim.Observer{trace}
+					res, err := Run(Config{Sim: cfg, Partitions: parts, Partition: XTreeSubtrees, Audit: true}, mkWL())
+					if stripPrefix(err) != stripPrefix(refErr) {
+						t.Fatalf("error mismatch:\n dist: %v\n ref:  %v", err, refErr)
+					}
+					if !reflect.DeepEqual(res, refRes) {
+						t.Fatalf("result mismatch:\n dist: %+v\n ref:  %+v", res, refRes)
+					}
+					de, re := trace.Events(), refTrace.Events()
+					if len(de) != len(re) {
+						t.Fatalf("trace length mismatch: dist %d, ref %d", len(de), len(re))
+					}
+					for i := range de {
+						if de[i] != re[i] {
+							t.Fatalf("trace diverges at event %d:\n dist: %+v\n ref:  %+v", i, de[i], re[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDistsimBlocksOnTreeHost runs the same equivalence on a plain tree
+// host with identity placement and the topology-blind partitioner.
+func TestDistsimBlocksOnTreeHost(t *testing.T) {
+	tr := bintree.CompleteN(127)
+	host := tr.AsGraph()
+	base := netsim.Config{Host: host, Place: netsim.IdentityPlacement(tr.N()),
+		Faults: &netsim.FaultPlan{Seed: 3, DropProb: 0.02}, MaxCycles: 4000}
+	refRes, refErr := netsim.Run(base, netsim.NewDivideConquer(tr, 3))
+	for _, parts := range []int{2, 4, 8} {
+		res, err := Run(Config{Sim: base, Partitions: parts, Audit: true}, netsim.NewDivideConquer(tr, 3))
+		if stripPrefix(err) != stripPrefix(refErr) {
+			t.Fatalf("p=%d error mismatch: %v vs %v", parts, err, refErr)
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("p=%d result mismatch:\n dist: %+v\n ref:  %+v", parts, res, refRes)
+		}
+	}
+}
+
+// TestCrossBoundaryKill pins the satellite regression: a vertex kill
+// exactly on a shard boundary must reproduce the single-process Drops,
+// Reroutes, Retransmits, and Unreachable counters bit for bit.
+func TestCrossBoundaryKill(t *testing.T) {
+	xt := xtree.New(5) // 63 vertices
+	host := xt.AsGraph()
+	tr := bintree.CompleteN(31)
+	place := scatter(tr.N(), host.N())
+	for _, parts := range []int{2, 4} {
+		owner := XTreeSubtrees(host, parts)
+		// Find a vertex whose neighborhood spans shards: killing it
+		// flushes queues on several partitions in one schedule step.
+		kill := int32(-1)
+		for u := 0; u < host.N(); u++ {
+			for _, nb := range host.Neighbors(u) {
+				if owner[nb] != owner[u] {
+					kill = int32(u)
+					break
+				}
+			}
+			if kill >= 0 {
+				break
+			}
+		}
+		if kill < 0 {
+			t.Fatalf("p=%d: no boundary vertex found", parts)
+		}
+		plan := &netsim.FaultPlan{Seed: 5, VertexKills: []netsim.VertexKill{{V: kill, Cycle: 3}}}
+		base := netsim.Config{Host: host, Place: place, Faults: plan, MaxCycles: 4000}
+		refRes, refErr := netsim.Run(base, netsim.NewDivideConquer(tr, 2))
+		res, err := Run(Config{Sim: base, Partitions: parts, Partition: XTreeSubtrees, Audit: true},
+			netsim.NewDivideConquer(tr, 2))
+		if stripPrefix(err) != stripPrefix(refErr) {
+			t.Fatalf("p=%d kill=%d error mismatch: %v vs %v", parts, kill, err, refErr)
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("p=%d kill=%d result mismatch:\n dist: %+v\n ref:  %+v", parts, kill, res, refRes)
+		}
+		if res.Drops != refRes.Drops || res.Reroutes != refRes.Reroutes || res.Unreachable != refRes.Unreachable {
+			t.Fatalf("p=%d fault counters diverge", parts)
+		}
+	}
+}
+
+// TestOversizedHostMirrored pins the satellite fix on both runners: a host
+// over MaxHostVertices with no NextHop router must produce a clear error
+// naming the cap and the escape hatch, not a V² allocation or a panic.
+func TestOversizedHostMirrored(t *testing.T) {
+	n := netsim.MaxHostVertices + 10
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	cfg := netsim.Config{Host: g, Place: []int32{0, int32(n - 1)}}
+	for name, run := range map[string]func() error{
+		"netsim": func() error { _, err := netsim.Run(cfg, netsim.NewBroadcast(bintree.CompleteN(1))); return err },
+		"distsim": func() error {
+			_, err := Run(Config{Sim: cfg, Partitions: 2}, netsim.NewBroadcast(bintree.CompleteN(1)))
+			return err
+		},
+	} {
+		err := run()
+		if err == nil {
+			t.Fatalf("%s: no error for oversized host", name)
+		}
+		for _, want := range []string{"4096", "NextHop"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not mention %q", name, err, want)
+			}
+		}
+	}
+}
+
+// TestNetsimRejectsPartitions pins the guard: the single-process runner
+// must refuse a partitioned config rather than silently ignoring it.
+func TestNetsimRejectsPartitions(t *testing.T) {
+	tr := bintree.CompleteN(7)
+	cfg := netsim.Config{Host: tr.AsGraph(), Place: netsim.IdentityPlacement(tr.N()), Partitions: 4}
+	if _, err := netsim.Run(cfg, netsim.NewBroadcast(tr)); err == nil || !strings.Contains(err.Error(), "distsim") {
+		t.Fatalf("want rejection pointing at distsim, got %v", err)
+	}
+}
+
+func TestBlocksPartitioner(t *testing.T) {
+	g := graph.New(10)
+	owner := Blocks(g, 3)
+	if len(owner) != 10 {
+		t.Fatalf("owner covers %d vertices", len(owner))
+	}
+	counts := map[int32]int{}
+	prev := int32(0)
+	for _, o := range owner {
+		if o < 0 || o >= 3 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		if o < prev {
+			t.Fatalf("Blocks not contiguous")
+		}
+		prev = o
+		counts[o]++
+	}
+	for s := int32(0); s < 3; s++ {
+		if counts[s] < 3 || counts[s] > 4 {
+			t.Fatalf("shard %d owns %d of 10 vertices", s, counts[s])
+		}
+	}
+}
+
+func TestXTreeSubtreesPartitioner(t *testing.T) {
+	xt := xtree.New(6)
+	host := xt.AsGraph()
+	for _, parts := range []int{2, 4, 8} {
+		owner := XTreeSubtrees(host, parts)
+		seen := map[int32]bool{}
+		for v, o := range owner {
+			if o < 0 || int(o) >= parts {
+				t.Fatalf("p=%d vertex %d -> shard %d", parts, v, o)
+			}
+			seen[o] = true
+		}
+		if len(seen) != parts {
+			t.Fatalf("p=%d only %d shards populated", parts, len(seen))
+		}
+		// Subtree locality: the X-tree-aware split must cut fewer links
+		// than the topology-blind one.
+		cut := func(owner []int32) int {
+			n := 0
+			for u := 0; u < host.N(); u++ {
+				for _, nb := range host.Neighbors(u) {
+					if owner[u] != owner[nb] {
+						n++
+					}
+				}
+			}
+			return n
+		}
+		if xc, bc := cut(owner), cut(Blocks(host, parts)); xc >= bc {
+			t.Errorf("p=%d: XTreeSubtrees cut %d >= Blocks cut %d", parts, xc, bc)
+		}
+	}
+	// A non-X-tree vertex count falls back to Blocks.
+	g := graph.New(10)
+	if got := XTreeSubtrees(g, 2); !reflect.DeepEqual(got, Blocks(g, 2)) {
+		t.Fatalf("fallback mismatch: %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package distsim
+
+import (
+	"math/bits"
+
+	"xtreesim/internal/graph"
+)
+
+// A Partitioner maps every host vertex to one of parts shards (an edge-cut
+// partition of the vertex set: links whose endpoints land on different
+// shards become boundary links).  Implementations must be deterministic
+// and return values in [0, parts).
+type Partitioner func(host *graph.Graph, parts int) []int32
+
+// Blocks partitions vertices into balanced contiguous index ranges.  It is
+// topology-blind but works on any host graph.
+func Blocks(host *graph.Graph, parts int) []int32 {
+	n := host.N()
+	owner := make([]int32, n)
+	if parts <= 1 {
+		return owner
+	}
+	for i := 0; i < n; i++ {
+		owner[i] = int32(i * parts / n)
+	}
+	return owner
+}
+
+// XTreeSubtrees partitions an X-tree host by subtree locality: it picks
+// the smallest level L with at least parts vertices, makes each level-L
+// vertex an anchor, assigns every vertex below level L to the anchor it
+// descends from, spreads the few vertices above L across the anchors under
+// them, and folds the 2^L anchors onto the shards in order.  Formerly
+// adjacent tree vertices (parent/child and most level neighbors) stay on
+// one shard, so the cut — and with it the boundary traffic per cycle — is
+// far smaller than a topology-blind split.
+//
+// The heap numbering is the one xtree.AsGraph uses: the vertex at level l,
+// position i has index 2^l-1+i.  A host whose size is not 2^(h+1)-1 is not
+// an X-tree by that numbering and falls back to Blocks.
+func XTreeSubtrees(host *graph.Graph, parts int) []int32 {
+	n := host.N()
+	if parts <= 1 {
+		return make([]int32, n)
+	}
+	if n == 0 || (n+1)&n != 0 {
+		return Blocks(host, parts) // not 2^(h+1)-1 vertices
+	}
+	h := bits.Len(uint(n+1)) - 2 // deepest level
+	L := 0
+	for 1<<L < parts && L < h {
+		L++
+	}
+	anchors := 1 << L
+	owner := make([]int32, n)
+	for id := 0; id < n; id++ {
+		l := bits.Len(uint(id+1)) - 1
+		i := id - (1<<l - 1)
+		var anchor int
+		if l >= L {
+			anchor = i >> (l - L)
+		} else {
+			anchor = i << (L - l)
+		}
+		owner[id] = int32(anchor * parts / anchors)
+	}
+	return owner
+}

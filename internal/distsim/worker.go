@@ -1,0 +1,115 @@
+package distsim
+
+// One worker goroutine per shard.  The coordinator drives the two-phase
+// epoch barrier over command/report channels; within the fire phase the
+// workers exchange boundary frames directly with each other over a P×P
+// matrix of buffered channels (the coordinator never sees boundary
+// traffic).  Every worker sends all of its P-1 frames — empty ones
+// included — before receiving any, and each directed pair has one buffer
+// slot, so the exchange cannot deadlock regardless of scheduling.
+
+import (
+	"sync"
+
+	"xtreesim/internal/netsim"
+)
+
+type beginCmd struct {
+	cycle int
+	inj   []netsim.Placement
+	rel   []netsim.Placement
+}
+
+type fireCmd struct {
+	cycle int
+	dec   []netsim.HopDecision
+	ci    netsim.CycleInfo
+}
+
+type workerCmd struct {
+	begin *beginCmd
+	fire  *fireCmd
+}
+
+type workerRep struct {
+	begin       *netsim.BeginReport
+	fire        *netsim.FireReport
+	boundaryOut int // messages shipped to other shards this fire
+	bytesOut    int // encoded frame bytes shipped this fire
+	err         error
+}
+
+type worker struct {
+	self  int
+	parts int
+	shard *netsim.Shard
+	in    chan workerCmd
+	out   chan workerRep
+	// xch[i][j] carries frames from shard i to shard j.
+	xch [][]chan []byte
+}
+
+func newWorker(self, parts int, shard *netsim.Shard, xch [][]chan []byte) *worker {
+	return &worker{
+		self: self, parts: parts, shard: shard, xch: xch,
+		in:  make(chan workerCmd, 1),
+		out: make(chan workerRep, 1),
+	}
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range w.in {
+		switch {
+		case cmd.begin != nil:
+			rep, err := w.shard.BeginCycle(cmd.begin.cycle, cmd.begin.inj, cmd.begin.rel)
+			w.out <- workerRep{begin: &rep, err: err}
+		case cmd.fire != nil:
+			rep, nOut, bytes, err := w.fire(cmd.fire)
+			w.out <- workerRep{fire: rep, boundaryOut: nOut, bytesOut: bytes, err: err}
+		}
+	}
+}
+
+func (w *worker) fire(cmd *fireCmd) (*netsim.FireReport, int, int, error) {
+	outbox := w.shard.Fire(cmd.cycle, cmd.dec, cmd.ci)
+	nOut, bytes := 0, 0
+	// Send every frame before receiving any: with one buffer slot per
+	// directed pair this is deadlock-free even if peers interleave
+	// arbitrarily.  Empty frames are sent too — a receiver must hear
+	// from every peer to know the cycle's exchange is complete.
+	for j := 0; j < w.parts; j++ {
+		if j == w.self {
+			continue
+		}
+		frame := EncodeFrame(cmd.cycle, int32(w.self), outbox[j])
+		nOut += len(outbox[j])
+		bytes += len(frame)
+		w.xch[w.self][j] <- frame
+	}
+	var incoming []netsim.Boundary
+	var firstErr error
+	for j := 0; j < w.parts; j++ {
+		if j == w.self {
+			continue
+		}
+		frame := <-w.xch[j][w.self]
+		cycle, from, msgs, err := DecodeFrame(frame)
+		switch {
+		case err != nil:
+			firstErr = err
+		case cycle != cmd.cycle || int(from) != j:
+			if firstErr == nil {
+				firstErr = errFrameMismatch(cmd.cycle, j, cycle, int(from))
+			}
+		default:
+			incoming = append(incoming, msgs...)
+		}
+	}
+	if firstErr != nil {
+		return nil, nOut, bytes, firstErr
+	}
+	rep, err := w.shard.Apply(cmd.cycle, incoming)
+	rep.BoundaryOut = nOut
+	return &rep, nOut, bytes, err
+}

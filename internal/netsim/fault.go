@@ -180,10 +180,10 @@ func (f *faultState) blocked(u, v int32) bool {
 // next returns the next hop from `at` toward dst over the alive graph, or
 // -1 when dst is unreachable.  Tables are built per destination on first
 // use and reused until the next kill.
-func (f *faultState) next(s *sim, at, dst int32) int32 {
+func (f *faultState) next(host *graph.Graph, at, dst int32) int32 {
 	tab, ok := f.nh[dst]
 	if !ok {
-		n := s.host.N()
+		n := host.N()
 		tab = make([]int32, n)
 		for i := range tab {
 			tab[i] = -1
@@ -194,7 +194,7 @@ func (f *faultState) next(s *sim, at, dst int32) int32 {
 			for len(queue) > 0 {
 				u := queue[0]
 				queue = queue[1:]
-				for _, v := range s.host.Neighbors(int(u)) {
+				for _, v := range host.Neighbors(int(u)) {
 					// The message would travel v→u, so that is
 					// the direction that must be alive.
 					if tab[v] >= 0 || f.blocked(v, u) {

@@ -69,6 +69,11 @@ type Config struct {
 	// Observers receive per-cycle and per-event callbacks (see
 	// Observer).  An empty list costs nothing on the hot path.
 	Observers []Observer
+	// Partitions requests a sharded run.  The single-process runner
+	// cannot honor it: Run and RunContext reject any value above 1 so a
+	// partitioned config is never silently simulated on one goroutine.
+	// Use the distsim runner (or xtreesim.WithPartitions) instead.
+	Partitions int
 
 	// legacyMultiHop re-enables the pre-fix Phase 1 scheduler, which
 	// let a message forwarded onto a higher-indexed queue move again in
@@ -196,6 +201,9 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 			return Result{}, fmt.Errorf("netsim: process %d placed on invalid vertex %d", p, h)
 		}
 	}
+	if cfg.Partitions > 1 {
+		return Result{}, fmt.Errorf("netsim: Config.Partitions=%d: the single-process runner cannot shard; use the distsim runner (xtreesim.WithPartitions)", cfg.Partitions)
+	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = 1 << 20
@@ -309,20 +317,7 @@ func RunContext(ctx context.Context, cfg Config, wl Workload) (Result, error) {
 		// is stable so true duplicates keep their arrival order (which
 		// is itself deterministic).
 		sort.SliceStable(arrived, func(a, b int) bool {
-			x, y := arrived[a], arrived[b]
-			if x.ev.To != y.ev.To {
-				return x.ev.To < y.ev.To
-			}
-			if x.ev.From != y.ev.From {
-				return x.ev.From < y.ev.From
-			}
-			if x.ev.Kind != y.ev.Kind {
-				return x.ev.Kind < y.ev.Kind
-			}
-			if x.ev.Payload != y.ev.Payload {
-				return x.ev.Payload < y.ev.Payload
-			}
-			return x.sentAt < y.sentAt
+			return deliveryLess(arrived[a].ev, arrived[a].sentAt, arrived[b].ev, arrived[b].sentAt)
 		})
 		pending = pending[:0]
 		for _, m := range arrived {
@@ -429,14 +424,14 @@ func (s *sim) enqueue(at int32, m message) error {
 		// Once diverted, stay on alive-graph routing: mixing it with
 		// the original tables could bounce a message between a detour
 		// and a route through the dead link forever.
-		nh = s.faults.next(s, at, m.dstHost)
+		nh = s.faults.next(s.host, at, m.dstHost)
 	case s.hopFn != nil:
 		nh = s.hopFn(at, m.dstHost)
 	default:
 		nh = s.nextHop[m.dstHost][at]
 	}
 	if s.faults != nil && !m.rerouted && nh >= 0 && s.faults.blocked(at, nh) {
-		nh = s.faults.next(s, at, m.dstHost)
+		nh = s.faults.next(s.host, at, m.dstHost)
 		if nh >= 0 {
 			s.res.Reroutes++
 			m.rerouted = true
@@ -467,11 +462,20 @@ func (s *sim) enqueue(at int32, m message) error {
 // ekey packs a directed edge into the edgeIndex key.
 func ekey(u, v int32) int64 { return int64(u)<<32 | int64(v) }
 
-// buildRouting fills the per-destination next-hop tables by one BFS per
-// destination.
+// buildRouting fills the per-destination next-hop tables.
 func (s *sim) buildRouting() {
-	n := s.host.N()
-	s.nextHop = make([][]int32, n)
+	s.nextHop = BuildNextHopTables(s.host)
+}
+
+// BuildNextHopTables precomputes shortest-path routing for the host by one
+// BFS per destination: tables[dst][cur] is the neighbor of cur on a
+// shortest path toward dst, or -1 when unreachable.  The tables are what
+// the single-process runner builds internally; they are exported so the
+// distsim runner can build them once and share them read-only across every
+// shard instead of paying the V² memory per partition.
+func BuildNextHopTables(host *graph.Graph) [][]int32 {
+	n := host.N()
+	tables := make([][]int32, n)
 	for dst := 0; dst < n; dst++ {
 		nh := make([]int32, n)
 		for i := range nh {
@@ -482,15 +486,16 @@ func (s *sim) buildRouting() {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range s.host.Neighbors(int(u)) {
+			for _, v := range host.Neighbors(int(u)) {
 				if nh[v] < 0 {
 					nh[v] = u // next hop from v toward dst is u
 					queue = append(queue, v)
 				}
 			}
 		}
-		s.nextHop[dst] = nh
+		tables[dst] = nh
 	}
+	return tables
 }
 
 // buildEdges enumerates the directed edges deterministically.

@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"xtreesim/internal/bintree"
+	"xtreesim/internal/graph"
+)
+
+// TestEdgeRankerMatchesBuildEdges pins the shared enumeration: the global
+// rank every boundary message is keyed by must agree with the dense edge
+// index the single-process loop builds, or the two runners would disagree
+// about FIFO apply order.
+func TestEdgeRankerMatchesBuildEdges(t *testing.T) {
+	hosts := map[string]*graph.Graph{
+		"tree":  bintree.CompleteN(31).AsGraph(),
+		"cycle": cycleHost(),
+		"path":  pathHost(9),
+	}
+	for name, g := range hosts {
+		s := &sim{host: g}
+		s.buildEdges()
+		r := NewEdgeRanker(g)
+		if r.Count() != len(s.edges) {
+			t.Fatalf("%s: ranker counts %d edges, buildEdges %d", name, r.Count(), len(s.edges))
+		}
+		for idx, e := range s.edges {
+			if got := r.Rank(e[0], e[1]); got != idx {
+				t.Fatalf("%s: edge %d->%d ranked %d, want %d", name, e[0], e[1], got, idx)
+			}
+		}
+		if r.Rank(0, 0) != -1 {
+			t.Fatalf("%s: self-loop ranked", name)
+		}
+	}
+}
+
+// TestOversizedHostError pins the satellite fix: over the cap with no
+// NextHop router the error must name the cap and the escape hatch instead
+// of allocating the V² tables.
+func TestOversizedHostError(t *testing.T) {
+	n := MaxHostVertices + 10
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	_, err := Run(Config{Host: g, Place: []int32{0, 1}}, &testStream{n: 1})
+	if err == nil {
+		t.Fatal("no error for oversized host")
+	}
+	for _, want := range []string{"4096", "NextHop"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// The escape hatch works: the same host with a router simulates.
+	hop := func(cur, dst int32) int32 {
+		if dst > cur {
+			return cur + 1
+		}
+		return cur - 1
+	}
+	place := []int32{0, 42}
+	if _, err := Run(Config{Host: g, Place: place, NextHop: hop}, &testStream{n: 1}); err != nil {
+		t.Fatalf("NextHop escape hatch failed: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"xtreesim/internal/bintree"
+	"xtreesim/internal/distsim"
 	"xtreesim/internal/netsim"
 )
 
@@ -297,7 +298,17 @@ type SimulateRequest struct {
 	// machine and reports the slowdown ratio.
 	Baseline bool       `json:"baseline,omitempty"`
 	Faults   *FaultSpec `json:"faults,omitempty"`
+	// Partitions shards the simulation across that many epoch-barrier
+	// workers (internal/distsim), partitioned along X-tree subtrees.  The
+	// counters are byte-identical to the single-process run; 0 or 1 runs
+	// single-process.
+	Partitions int `json:"partitions,omitempty"`
 }
+
+// MaxSimPartitions caps SimulateRequest.Partitions well below the
+// distsim limit: each shard is a goroutine holding queue state, and a
+// request should not be able to demand hundreds of them.
+const MaxSimPartitions = 64
 
 func (req *SimulateRequest) validate() error {
 	if req.Tree == nil {
@@ -312,6 +323,10 @@ func (req *SimulateRequest) validate() error {
 	}
 	if req.Waves < 0 || req.Rounds < 0 || req.MaxCycles < 0 {
 		return badRequest("waves, rounds and max_cycles must be non-negative")
+	}
+	if req.Partitions < 0 || req.Partitions > MaxSimPartitions {
+		return badRequest("partitions must lie in [0,%d] (distsim caps at %d)",
+			MaxSimPartitions, distsim.MaxPartitions)
 	}
 	if fs := req.Faults; fs != nil {
 		if fs.DropProb < 0 || fs.DropProb > 1 || fs.CorruptProb < 0 || fs.CorruptProb > 1 {
@@ -389,6 +404,41 @@ type SimulateResponse struct {
 	IdealCycles int     `json:"ideal_cycles,omitempty"`
 	Slowdown    float64 `json:"slowdown,omitempty"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Dist reports the sharding of a partitioned run (partitions ≥ 2).
+	Dist *DistInfo `json:"dist,omitempty"`
+}
+
+// DistInfo describes how a partitioned simulation was sharded.
+type DistInfo struct {
+	Partitions       int             `json:"partitions"`
+	BoundaryMessages int             `json:"boundary_messages"`
+	BoundaryBytes    int64           `json:"boundary_bytes"`
+	Shards           []DistShardInfo `json:"shards"`
+}
+
+// DistShardInfo is one shard's share of a partitioned run.
+type DistShardInfo struct {
+	Vertices    int `json:"vertices"`
+	Links       int `json:"links"`
+	Hops        int `json:"hops"`
+	BoundaryOut int `json:"boundary_out"`
+}
+
+func distInfo(parts int, st distsim.Stats) *DistInfo {
+	di := &DistInfo{
+		Partitions:       parts,
+		BoundaryMessages: st.BoundaryMessages,
+		BoundaryBytes:    st.BoundaryBytes,
+	}
+	for _, ps := range st.Partitions {
+		di.Shards = append(di.Shards, DistShardInfo{
+			Vertices:    ps.Vertices,
+			Links:       ps.Links,
+			Hops:        ps.Hops,
+			BoundaryOut: ps.BoundaryOut,
+		})
+	}
+	return di
 }
 
 // HealthResponse is the body of GET /healthz.

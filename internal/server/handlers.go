@@ -15,6 +15,7 @@ import (
 
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/core"
+	"xtreesim/internal/distsim"
 	"xtreesim/internal/engine"
 	"xtreesim/internal/netsim"
 	"xtreesim/internal/trace"
@@ -275,7 +276,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if simSpan != nil {
 		cfg.Observers = append(cfg.Observers, netsim.NewSpanObserver(simSpan))
 	}
-	simRes, err := netsim.RunContext(ctx, cfg, req.workload(tree))
+	// Partitioned requests run through the distributed coordinator,
+	// sharded along X-tree subtrees; the counters (and the observer event
+	// stream feeding the span bridge) are byte-identical either way.
+	var simRes netsim.Result
+	var dist *DistInfo
+	if req.Partitions > 1 {
+		var st distsim.Stats
+		simRes, st, err = distsim.RunStats(ctx, distsim.Config{
+			Sim:        cfg,
+			Partitions: req.Partitions,
+			Partition:  distsim.XTreeSubtrees,
+		}, req.workload(tree))
+		if err == nil {
+			dist = distInfo(req.Partitions, st)
+			s.dist.record(req.Partitions, st)
+		}
+	} else {
+		simRes, err = netsim.RunContext(ctx, cfg, req.workload(tree))
+	}
 	// Close the span either way, but only record the counters when the
 	// run succeeded: on error simRes is the zero value, and stamping
 	// cycles=0 delivered=0 onto the span would read as a real (absurd)
@@ -292,7 +311,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	simSpan.SetAttr("cycles", int64(simRes.Cycles)).SetAttr("delivered", int64(simRes.Delivered)).End()
-	resp := SimulateResponse{Embed: embItem, Sim: simCounters(simRes)}
+	resp := SimulateResponse{Embed: embItem, Sim: simCounters(simRes), Dist: dist}
 
 	if req.Baseline {
 		idealCfg := netsim.Config{

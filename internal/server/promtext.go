@@ -176,6 +176,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeHelp(&b, "xtreesim_profile_overflow_total", "counter", "Requests served uncached because every profile-engine slot was taken.")
 	fmt.Fprintf(&b, "xtreesim_profile_overflow_total %d\n", s.pool.overflow.Load())
 
+	// Partitioned-simulation series: how often /v1/simulate runs through
+	// the distsim coordinator, and how the work and the cross-shard
+	// traffic distribute over shard indices.
+	ds := s.dist.snapshot()
+	writeHelp(&b, "xtreesim_dist_runs_total", "counter", "Partitioned simulations served, by shard count.")
+	for _, c := range ds.runs {
+		fmt.Fprintf(&b, "xtreesim_dist_runs_total{partitions=\"%d\"} %d\n", c.key, c.count)
+	}
+	writeHelp(&b, "xtreesim_dist_boundary_messages_total", "counter", "Messages exchanged across shard boundaries in partitioned simulations.")
+	fmt.Fprintf(&b, "xtreesim_dist_boundary_messages_total %d\n", ds.boundaryMsgs)
+	writeHelp(&b, "xtreesim_dist_boundary_bytes_total", "counter", "Encoded exchange-frame bytes shipped between shards (empty frames included).")
+	fmt.Fprintf(&b, "xtreesim_dist_boundary_bytes_total %d\n", ds.boundaryBytes)
+	writeHelp(&b, "xtreesim_dist_partition_hops_total", "counter", "Link traversals executed, by shard index, across partitioned simulations.")
+	for _, c := range ds.shardHops {
+		fmt.Fprintf(&b, "xtreesim_dist_partition_hops_total{partition=\"%d\"} %d\n", c.key, c.count)
+	}
+	writeHelp(&b, "xtreesim_dist_partition_boundary_out_total", "counter", "Messages shipped to other shards, by originating shard index.")
+	for _, c := range ds.shardBoundary {
+		fmt.Fprintf(&b, "xtreesim_dist_partition_boundary_out_total{partition=\"%d\"} %d\n", c.key, c.count)
+	}
+
 	if s.tracer != nil {
 		phases := s.tracer.PhaseHistograms()
 		names := make([]string, 0, len(phases))

@@ -132,6 +132,7 @@ type Server struct {
 	snapshotPath string
 	admit        *admission
 	metrics      *serverMetrics
+	dist         *distMetrics
 	logger       *log.Logger
 	accessLog    bool
 	version      string
@@ -179,6 +180,7 @@ func New(cfg Config) *Server {
 		snapshotPath:   cfg.SnapshotPath,
 		admit:          newAdmission(maxConc, maxQueue),
 		metrics:        newServerMetrics(),
+		dist:           newDistMetrics(),
 		logger:         logger,
 		accessLog:      cfg.AccessLog,
 		version:        cfg.Version,

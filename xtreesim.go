@@ -35,6 +35,7 @@ import (
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/bitstr"
 	"xtreesim/internal/core"
+	"xtreesim/internal/distsim"
 	"xtreesim/internal/hypercube"
 	"xtreesim/internal/metrics"
 	"xtreesim/internal/netsim"
@@ -387,6 +388,16 @@ func WithSimMaxCycles(n int) SimOption {
 	return func(c *SimConfig) { c.MaxCycles = n }
 }
 
+// WithPartitions shards the simulation across n parallel workers
+// coordinated by a two-phase epoch barrier (internal/distsim).  The
+// Result and the observer event stream are byte-identical to the
+// single-process run for every n; values ≤ 1 run single-process.
+// SimulateOnXTree partitions along X-tree subtrees, every other entry
+// point along contiguous vertex blocks.
+func WithPartitions(n int) SimOption {
+	return func(c *SimConfig) { c.Partitions = n }
+}
+
 // WithObserver attaches one or more observers to the run.  Observers are
 // read-only — the Result is byte-identical with or without them — and can
 // be combined freely across calls; nil entries are ignored.
@@ -412,6 +423,17 @@ func applySimOptions(cfg SimConfig, opts []SimOption) SimConfig {
 	return cfg
 }
 
+// runSim dispatches a resolved config to the matching runner: the
+// single-process loop, or — when WithPartitions asked for more than one
+// shard — the distributed coordinator with the given partitioner.
+func runSim(ctx context.Context, cfg SimConfig, wl Workload, part distsim.Partitioner) (SimResult, error) {
+	if cfg.Partitions > 1 {
+		return distsim.RunContext(ctx, distsim.Config{Sim: cfg, Partition: part}, wl)
+	}
+	cfg.Partitions = 0
+	return netsim.RunContext(ctx, cfg, wl)
+}
+
 // Simulate runs a guest workload on a host with a placement.
 func Simulate(cfg SimConfig, wl Workload, opts ...SimOption) (SimResult, error) {
 	return SimulateContext(context.Background(), cfg, wl, opts...)
@@ -421,14 +443,14 @@ func Simulate(cfg SimConfig, wl Workload, opts ...SimOption) (SimResult, error) 
 // the context once per simulated cycle and return ctx.Err() when it
 // fires, together with the statistics accumulated so far.
 func SimulateContext(ctx context.Context, cfg SimConfig, wl Workload, opts ...SimOption) (SimResult, error) {
-	return netsim.RunContext(ctx, applySimOptions(cfg, opts), wl)
+	return runSim(ctx, applySimOptions(cfg, opts), wl, nil)
 }
 
 // SimulateOnTree runs the workload on the guest's own topology — the
 // ideal binary-tree machine the X-tree is simulating.
 func SimulateOnTree(t *Tree, wl Workload, opts ...SimOption) (SimResult, error) {
 	cfg := SimConfig{Host: t.AsGraph(), Place: netsim.IdentityPlacement(t.N())}
-	return netsim.Run(applySimOptions(cfg, opts), wl)
+	return runSim(context.Background(), applySimOptions(cfg, opts), wl, nil)
 }
 
 // SimulateOnXTree runs the workload on the X-tree machine through the
@@ -439,7 +461,7 @@ func SimulateOnXTree(res *Result, wl Workload, opts ...SimOption) (SimResult, er
 		place[v] = int32(a.ID())
 	}
 	cfg := SimConfig{Host: res.Host.AsGraph(), Place: place}
-	return netsim.Run(applySimOptions(cfg, opts), wl)
+	return runSim(context.Background(), applySimOptions(cfg, opts), wl, distsim.XTreeSubtrees)
 }
 
 // NewDivideConquer builds the divide-and-conquer workload (waves ≥ 1).

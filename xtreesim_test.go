@@ -98,6 +98,46 @@ func TestPublicAPISimulation(t *testing.T) {
 	}
 }
 
+// TestPublicAPIPartitions pins the façade's distsim routing: every
+// entry point with WithPartitions must reproduce its single-process
+// Result exactly, fault layer included.
+func TestPublicAPIPartitions(t *testing.T) {
+	tree, err := xtreesim.GenerateTree(xtreesim.FamilyRandom, 240, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xtreesim.Embed(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &xtreesim.FaultPlan{Seed: 3, DropProb: 0.03}
+	ref, err := xtreesim.SimulateOnXTree(res, xtreesim.NewDivideConquer(tree, 2), xtreesim.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{2, 4} {
+		got, err := xtreesim.SimulateOnXTree(res, xtreesim.NewDivideConquer(tree, 2),
+			xtreesim.WithFaults(plan), xtreesim.WithPartitions(parts))
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		if got != ref {
+			t.Errorf("partitions=%d diverges:\n dist: %+v\n ref:  %+v", parts, got, ref)
+		}
+	}
+	treeRef, err := xtreesim.SimulateOnTree(tree, xtreesim.NewScan(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeDist, err := xtreesim.SimulateOnTree(tree, xtreesim.NewScan(tree), xtreesim.WithPartitions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if treeDist != treeRef {
+		t.Errorf("partitioned tree machine diverges: %+v vs %+v", treeDist, treeRef)
+	}
+}
+
 func TestPublicAPIBaselines(t *testing.T) {
 	tree, err := xtreesim.GenerateTree(xtreesim.FamilyRandom, int(xtreesim.Capacity(5)), 3)
 	if err != nil {
