@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke soak-smoke warm-bench dist-smoke dist-bench
+.PHONY: all build test test-short test-race bench embed-bench vet fmt check lint experiments examples cover fault-sweep fuzz audit-smoke serve serve-smoke serve-bench trace-smoke phase-bench scale-smoke soak-smoke warm-bench dist-smoke dist-bench stream-smoke capacity-bench
 
 all: vet test
 
@@ -112,6 +112,19 @@ soak-smoke:
 # be a 400.
 dist-smoke:
 	$(GO) run ./cmd/xtree-serve -dist-smoke
+
+# The streaming-telemetry gate (also the CI stream job): a
+# fault-injected partitioned /v1/simulate?stream=1 run must stream
+# schema-valid per-cycle and per-shard NDJSON, an idle attach with a
+# far-future cursor must heartbeat, and the session and telemetry
+# metric families (plus the build_info gauge) must be live on /metrics.
+stream-smoke:
+	$(GO) run ./cmd/xtree-serve -stream-smoke
+
+# E23 only: rps-per-core per host type with and without attached
+# streaming observers; writes BENCH_capacity.json.
+capacity-bench:
+	$(GO) run ./cmd/xtree-bench -exp e23
 
 # E22 only: partition-scaling sweep of the distributed simulator with
 # the per-shard LinkAudit attached; writes BENCH_dist.json.

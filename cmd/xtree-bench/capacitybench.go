@@ -1,0 +1,147 @@
+package main
+
+// capacitybench.go is experiment E23: the honest capacity model of the
+// embedding service.  It boots the real server in-process and measures
+// sustained embed throughput per CPU core for each host type the API
+// serves (xtree, hypercube, universal), first with no observers and
+// then with a fraction of the workers attached as streaming simulate
+// sessions that decode every NDJSON telemetry line — the cost a real
+// watching client imposes.  The quotient of the two columns is the
+// observer tax; rps-per-core is the number capacity planning divides
+// a fleet by.  Besides the Markdown table it writes BENCH_capacity.json
+// so successive PRs can compare number against number.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"xtreesim/internal/server"
+)
+
+var capacityBenchOut = flag.String("capacity-out", "BENCH_capacity.json", "e23: write the capacity benchmark JSON here ('' disables)")
+
+// capacityPoint is one row of the sweep, as recorded in BENCH_capacity.json.
+type capacityPoint struct {
+	Host          string  `json:"host"`
+	StreamFrac    float64 `json:"stream_frac"`
+	Concurrency   int     `json:"concurrency"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	StreamOK      int     `json:"stream_sessions"`
+	StreamEvents  int64   `json:"stream_events"`
+	StreamDropped int64   `json:"stream_dropped"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	RPSPerCore    float64 `json:"rps_per_core"`
+	P95MS         float64 `json:"p95_ms"`
+}
+
+type capacityFile struct {
+	Bench  string `json:"bench"`
+	Config struct {
+		TreeN          int     `json:"tree_n"`
+		Family         string  `json:"family"`
+		DistinctShapes int     `json:"distinct_shapes"`
+		Concurrency    int     `json:"concurrency"`
+		RequestsPerRow int     `json:"requests_per_row"`
+		StreamFrac     float64 `json:"stream_frac_when_on"`
+		NumCPU         int     `json:"num_cpu"`
+	} `json:"config"`
+	Results []capacityPoint `json:"results"`
+}
+
+func e23Capacity() {
+	const (
+		treeN      = 1008
+		family     = "random"
+		shapes     = 8
+		conc       = 8
+		perRow     = 300
+		streamFrac = 0.25
+	)
+	hosts := []string{"xtree", "hypercube", "universal"}
+
+	s := server.New(server.Config{MaxConcurrent: 0, MaxQueue: -1})
+	if err := s.Start(); err != nil {
+		check(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	// Warm the engine cache with the full shape mix so every row sees the
+	// same steady-state server, not a cold-start artifact.
+	if _, err := server.RunLoad(server.LoadConfig{
+		BaseURL: s.URL(), Concurrency: 2, Requests: 2 * shapes,
+		TreeN: treeN, Family: family, DistinctShapes: shapes,
+	}); err != nil {
+		check(err)
+	}
+
+	header(fmt.Sprintf("E23 — capacity per core by host type, with and without attached streamers (POST /v1/embed, n=%d random, c=%d, %d cores)", treeN, conc, runtime.NumCPU()),
+		"host", "streamers", "ok", "shed", "thpt req/s", "rps/core", "p95 ms", "stream events")
+
+	out := capacityFile{Bench: "capacity"}
+	out.Config.TreeN = treeN
+	out.Config.Family = family
+	out.Config.DistinctShapes = shapes
+	out.Config.Concurrency = conc
+	out.Config.RequestsPerRow = perRow
+	out.Config.StreamFrac = streamFrac
+	out.Config.NumCPU = runtime.NumCPU()
+
+	for _, host := range hosts {
+		for _, frac := range []float64{0, streamFrac} {
+			rep, err := server.RunLoad(server.LoadConfig{
+				BaseURL:        s.URL(),
+				Concurrency:    conc,
+				Requests:       perRow,
+				TreeN:          treeN,
+				Family:         family,
+				DistinctShapes: shapes,
+				Host:           host,
+				StreamFrac:     frac,
+			})
+			check(err)
+			perCore := rep.Throughput / float64(runtime.NumCPU())
+			label := "off"
+			if frac > 0 {
+				label = fmt.Sprintf("%.0f%% of workers", 100*frac)
+			}
+			row(host, label, rep.OK, rep.Shed,
+				fmt.Sprintf("%.0f", rep.Throughput), fmt.Sprintf("%.1f", perCore),
+				fmt.Sprintf("%.2f", float64(rep.P95.Microseconds())/1000),
+				rep.StreamEvents)
+			out.Results = append(out.Results, capacityPoint{
+				Host:          host,
+				StreamFrac:    frac,
+				Concurrency:   conc,
+				Requests:      rep.Requests,
+				OK:            rep.OK,
+				Shed:          rep.Shed,
+				Errors:        rep.Errors,
+				StreamOK:      rep.StreamSessions,
+				StreamEvents:  rep.StreamEvents,
+				StreamDropped: rep.StreamDropped,
+				ThroughputRPS: rep.Throughput,
+				RPSPerCore:    perCore,
+				P95MS:         float64(rep.P95.Microseconds()) / 1000,
+			})
+		}
+	}
+
+	if *capacityBenchOut != "" {
+		raw, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(*capacityBenchOut, append(raw, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", *capacityBenchOut)
+	}
+}

@@ -28,7 +28,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e22) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e23) or 'all'")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 	if *version {
@@ -43,10 +43,10 @@ func main() {
 		"e13": e13Scaling, "e14": e14Butterfly, "e15": e15Fibonacci,
 		"e16": e16FaultSweep, "e17": e17Observability, "e18": e18Serving,
 		"e19": e19PhaseBreakdown, "e20": e20EmbedPerf, "e21": e21WarmRestart,
-		"e22": e22DistScaling,
+		"e22": e22DistScaling, "e23": e23Capacity,
 	}
 	if *exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23"} {
 			runners[id]()
 		}
 		return

@@ -12,6 +12,7 @@
 //	xtree-serve -scale-smoke                # concurrency self-check: loadgen at c=1 vs c=8
 //	xtree-serve -soak-smoke                 # soak/chaos self-check: load, faults, snapshot restart, warm
 //	xtree-serve -dist-smoke                 # partitioned-simulation self-check: sharded vs single-process
+//	xtree-serve -stream-smoke               # streaming-telemetry self-check: stream=1 session, heartbeat, metrics
 //	xtree-serve -cache-snapshot cache.snap  # serve with cache persistence across restarts
 //	xtree-serve -version
 //
@@ -59,25 +60,28 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced into /debug/trace (0 = off, 1 = all)")
 		enablePprof = flag.Bool("pprof", false, "expose /debug/pprof/ profile endpoints")
 
-		loadgen   = flag.Bool("loadgen", false, "run the load generator instead of serving")
-		url       = flag.String("url", "", "loadgen: target base URL (default: boot an in-process server)")
-		conc      = flag.Int("c", 8, "loadgen: concurrent workers")
-		requests  = flag.Int("n", 500, "loadgen: total requests")
-		treeN     = flag.Int("tree-n", 1008, "loadgen: guest tree size")
-		shapes    = flag.Int("shapes", 8, "loadgen: distinct tree shapes in the mix")
-		tagTraces = flag.Bool("trace", false, "loadgen: tag every request with its own X-Trace-Id")
-		genSeed   = flag.Int64("seed", 0, "loadgen: master seed for the request streams (0 = the fixed legacy streams, for replaying historical runs)")
+		loadgen    = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		url        = flag.String("url", "", "loadgen: target base URL (default: boot an in-process server)")
+		conc       = flag.Int("c", 8, "loadgen: concurrent workers")
+		requests   = flag.Int("n", 500, "loadgen: total requests")
+		treeN      = flag.Int("tree-n", 1008, "loadgen: guest tree size")
+		shapes     = flag.Int("shapes", 8, "loadgen: distinct tree shapes in the mix")
+		tagTraces  = flag.Bool("trace", false, "loadgen: tag every request with its own X-Trace-Id")
+		genSeed    = flag.Int64("seed", 0, "loadgen: master seed for the request streams (0 = the fixed legacy streams, for replaying historical runs)")
+		genHost    = flag.String("host", "", "loadgen: embed host type in the mix (xtree, hypercube, universal; '' = xtree)")
+		streamFrac = flag.Float64("stream-frac", 0, "loadgen: fraction of workers running drained stream=1 simulate sessions instead of embeds")
 
 		cacheSnapshot = flag.String("cache-snapshot", "", "persist the canonical-tree caches to this file: warm from it on boot, rewrite it on graceful drain")
 		maxProfiles   = flag.Int("max-profiles", 0, "max non-default option-profile engines (0 = default)")
 
-		smoke      = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
-		traceSmoke = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
-		scaleSmoke = flag.Bool("scale-smoke", false, "run the concurrency-scaling self-check and exit (0 = pass)")
-		soakSmoke  = flag.Bool("soak-smoke", false, "run the soak/chaos self-check (load, fault-injected sims, snapshot restart, warm) and exit (0 = pass)")
-		distSmoke  = flag.Bool("dist-smoke", false, "run the partitioned-simulation self-check (sharded vs single-process counters, dist metrics) and exit (0 = pass)")
-		verFlag    = flag.Bool("version", false, "print build info and exit")
-		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		smoke       = flag.Bool("smoke", false, "run the serve-smoke self-check and exit (0 = pass)")
+		streamSmoke = flag.Bool("stream-smoke", false, "run the streaming-telemetry self-check (stream=1 session, heartbeat, metrics) and exit (0 = pass)")
+		traceSmoke  = flag.Bool("trace-smoke", false, "run the tracing self-check and exit (0 = pass)")
+		scaleSmoke  = flag.Bool("scale-smoke", false, "run the concurrency-scaling self-check and exit (0 = pass)")
+		soakSmoke   = flag.Bool("soak-smoke", false, "run the soak/chaos self-check (load, fault-injected sims, snapshot restart, warm) and exit (0 = pass)")
+		distSmoke   = flag.Bool("dist-smoke", false, "run the partitioned-simulation self-check (sharded vs single-process counters, dist metrics) and exit (0 = pass)")
+		verFlag     = flag.Bool("version", false, "print build info and exit")
+		drainGrace  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 
@@ -112,8 +116,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("dist-smoke: PASS")
+	case *streamSmoke:
+		if err := runStreamSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "stream-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("stream-smoke: PASS")
 	case *loadgen:
-		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces, *genSeed); err != nil {
+		if err := runLoadgen(*url, *conc, *requests, *treeN, *shapes, *tagTraces, *genSeed, *genHost, *streamFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -177,7 +187,7 @@ func serve(cfg server.Config, grace time.Duration) error {
 // runLoadgen drives url (or a freshly booted local server when url is
 // empty) and prints the client-side report plus the server's engine
 // counters when it owns the server.
-func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool, seed int64) error {
+func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool, seed int64, host string, streamFrac float64) error {
 	var s *server.Server
 	if url == "" {
 		s = server.New(server.Config{})
@@ -200,6 +210,8 @@ func runLoadgen(url string, conc, requests, treeN, shapes int, tagTraces bool, s
 		DistinctShapes: shapes,
 		Trace:          tagTraces,
 		Seed:           seed,
+		Host:           host,
+		StreamFrac:     streamFrac,
 	})
 	if err != nil {
 		return err

@@ -19,7 +19,7 @@ func TestSmoke(t *testing.T) {
 }
 
 func TestLoadgenInProcess(t *testing.T) {
-	if err := runLoadgen("", 2, 10, 255, 2, true, 0); err != nil {
+	if err := runLoadgen("", 2, 10, 255, 2, true, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }

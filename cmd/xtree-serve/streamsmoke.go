@@ -1,0 +1,205 @@
+package main
+
+// streamsmoke.go is the -stream-smoke self-check: boot the real server,
+// run a fault-injected partitioned simulate with ?stream=1, and require
+// the full telemetry contract end to end — per-cycle and per-shard
+// NDJSON events under the shared schema, a live heartbeat on an idle
+// attach stream, the session visible in /v1/sessions and /metrics, and
+// a clean EOF on drain.  CI runs this as the stream gate.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"xtreesim/internal/server"
+	"xtreesim/internal/telemetry"
+)
+
+func runStreamSmoke() error {
+	s := server.New(server.Config{Version: "stream-smoke", HeartbeatInterval: 10 * time.Millisecond})
+	if err := s.Start(); err != nil {
+		return err
+	}
+	defer shutdown(s)
+	url := s.URL()
+
+	if err := streamSmokeSession(url); err != nil {
+		return fmt.Errorf("stream session: %w", err)
+	}
+	if err := streamSmokeHeartbeat(url); err != nil {
+		return fmt.Errorf("heartbeat: %w", err)
+	}
+	if err := streamSmokeMetrics(url); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+// streamSmokeEvents decodes an NDJSON body to EOF, failing on any line
+// the shared schema rejects.
+func streamSmokeEvents(r io.Reader) ([]telemetry.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var events []telemetry.Event
+	for sc.Scan() {
+		e, err := telemetry.DecodeEvent(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream did not drain cleanly: %v", err)
+	}
+	return events, nil
+}
+
+// streamSmokeSession runs the fault-injected partitioned stream and
+// checks shape, schema, and the session listing afterwards.
+func streamSmokeSession(url string) error {
+	body, _ := json.Marshal(server.SimulateRequest{
+		Tree:       &server.TreeSpec{Family: "random", N: 496, Seed: server.Seed(7)},
+		Workload:   server.WorkloadDivideConquer,
+		Faults:     &server.FaultSpec{Seed: 3, DropProb: 0.05, MaxRetries: 20},
+		Partitions: 2,
+	})
+	resp, err := http.Post(url+"/v1/simulate?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	id := resp.Header.Get("X-Session-Id")
+	if id == "" {
+		return fmt.Errorf("no X-Session-Id header")
+	}
+	events, err := streamSmokeEvents(resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty stream")
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Type]++
+	}
+	switch {
+	case events[0].Type != telemetry.EventStart:
+		return fmt.Errorf("first event is %q, want start", events[0].Type)
+	case events[len(events)-1].Type != telemetry.EventResult:
+		return fmt.Errorf("last event is %q, want result", events[len(events)-1].Type)
+	case counts[telemetry.EventCycle] == 0:
+		return fmt.Errorf("no cycle events")
+	case counts[telemetry.EventShard] == 0:
+		return fmt.Errorf("no per-shard events on a partitioned run")
+	case counts[telemetry.EventDrop]+counts[telemetry.EventRetransmit] == 0:
+		return fmt.Errorf("no fault events on a fault-injected run")
+	}
+
+	var sl server.SessionsResponse
+	if err := getJSON(url+"/v1/sessions", &sl); err != nil {
+		return err
+	}
+	for _, si := range sl.Sessions {
+		if si.ID == id && si.State == server.SessionDone && si.Events > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("session %s not listed as done in /v1/sessions", id)
+}
+
+// streamSmokeHeartbeat attaches to a live session with a far-future
+// cursor: nothing is ever eligible to send, so every line until the run
+// finishes is a keep-alive heartbeat.
+func streamSmokeHeartbeat(url string) error {
+	body, _ := json.Marshal(server.SimulateRequest{
+		Tree:     &server.TreeSpec{Family: "random", N: 8000, Seed: server.Seed(5)},
+		Workload: server.WorkloadExchange,
+		Rounds:   64,
+	})
+	resp, err := http.Post(url+"/v1/simulate?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	defer io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	id := resp.Header.Get("X-Session-Id")
+
+	attach, err := http.Get(url + "/v1/sessions/" + id + "/events?from=1000000000000")
+	if err != nil {
+		return err
+	}
+	defer attach.Body.Close()
+	if attach.StatusCode != http.StatusOK {
+		return fmt.Errorf("attach status %d", attach.StatusCode)
+	}
+	sc := bufio.NewScanner(attach.Body)
+	if !sc.Scan() {
+		return fmt.Errorf("idle attach stream ended before a heartbeat: %v", sc.Err())
+	}
+	e, err := telemetry.DecodeEvent(sc.Bytes())
+	if err != nil {
+		return err
+	}
+	if e.Type != telemetry.EventHeartbeat {
+		return fmt.Errorf("idle attach stream sent %q, want heartbeat", e.Type)
+	}
+	if e.Session != id {
+		return fmt.Errorf("heartbeat session %q, want %q", e.Session, id)
+	}
+	return nil
+}
+
+// streamSmokeMetrics requires the session and telemetry families (and
+// the build_info gauge) on /metrics after streaming traffic.
+func streamSmokeMetrics(url string) error {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(data)
+	for _, want := range []string{
+		`xtreesim_build_info{version="stream-smoke"} 1`,
+		"xtreesim_sessions_started_total",
+		"xtreesim_session_events_published_total",
+		"xtreesim_telemetry_dropped_total",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the JSON body into v.
+func getJSON(url string, v interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, data)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

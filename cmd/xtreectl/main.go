@@ -9,6 +9,7 @@
 //	xtreectl verify -family path -n 4080                  # exit 1 on bound violation
 //	xtreectl dot    -what xtree -r 3                      # Figure 1 as DOT
 //	xtreectl nset   -vertex 0101 -r 6                     # Figure 2 neighborhood
+//	xtreectl watch  -addr http://host:8080 [session-id]   # live view of a streaming simulate
 package main
 
 import (
@@ -43,13 +44,15 @@ func main() {
 		cmdNSet(os.Args[2:])
 	case "svg":
 		cmdSVG(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xtreectl {gen|embed|verify|check|dot|nset|svg} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xtreectl {gen|embed|verify|check|dot|nset|svg|watch} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,195 @@
+package main
+
+// watch.go is the terminal live view over the server's telemetry
+// streams.  `xtreectl watch` with no session lists live and recent
+// sessions; `xtreectl watch <session>` attaches to the NDJSON event
+// stream and renders a single updating status line per cycle, one line
+// per loss marker, and the final result — the operator's view of a
+// fault sweep while it runs.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"xtreesim/internal/server"
+	"xtreesim/internal/telemetry"
+)
+
+func cmdWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	from := fs.Uint64("from", 0, "resume from this stream_seq (0 = replay the retained ring)")
+	raw := fs.Bool("raw", false, "print the raw NDJSON lines instead of the live view")
+	fs.Parse(args)
+
+	if fs.NArg() == 0 {
+		if err := watchList(os.Stdout, *addr); err != nil {
+			fail(err)
+		}
+		return
+	}
+	id := fs.Arg(0)
+	url := *addr + "/v1/sessions/" + id + "/events"
+	if *from > 0 {
+		url += "?from=" + strconv.FormatUint(*from, 10)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		fail(fmt.Errorf("attach %s: status %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data))))
+	}
+	if *raw {
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := watchRender(os.Stdout, resp.Body); err != nil {
+		fail(err)
+	}
+}
+
+// watchList prints the /v1/sessions table.
+func watchList(w io.Writer, addr string) error {
+	resp, err := http.Get(addr + "/v1/sessions")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET /v1/sessions: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var sl server.SessionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sl); err != nil {
+		return err
+	}
+	if len(sl.Sessions) == 0 {
+		fmt.Fprintln(w, "no live or recent sessions")
+		return nil
+	}
+	fmt.Fprintf(w, "%-16s %-8s %-16s %6s %5s %7s %9s %8s\n",
+		"SESSION", "STATE", "WORKLOAD", "NODES", "PARTS", "CYCLES", "EVENTS", "DROPPED")
+	for _, si := range sl.Sessions {
+		fmt.Fprintf(w, "%-16s %-8s %-16s %6d %5d %7d %9d %8d\n",
+			si.ID, si.State, si.Workload, si.TreeNodes, si.Partitions,
+			si.Cycles, si.Events, si.Dropped)
+	}
+	return nil
+}
+
+// watchState accumulates what the stream has shown so far.
+type watchState struct {
+	delivered          int
+	emitted            int64
+	hops               int
+	drops, retx, kills int
+	cycle              int
+	shards             map[int]int64 // shard -> last barrier wait ns
+	lost               uint64
+}
+
+// statusLine renders the single overwritten progress line.
+func (st *watchState) statusLine() string {
+	s := fmt.Sprintf("cycle %-6d delivered %d/%d  hops %d  drops %d  retx %d",
+		st.cycle, st.delivered, st.emitted, st.hops, st.drops, st.retx)
+	if st.kills > 0 {
+		s += fmt.Sprintf("  kills %d", st.kills)
+	}
+	if len(st.shards) > 0 {
+		var maxWait int64
+		for _, w := range st.shards {
+			if w > maxWait {
+				maxWait = w
+			}
+		}
+		s += fmt.Sprintf("  shards %d  barrier max %.2fms", len(st.shards), float64(maxWait)/1e6)
+	}
+	if st.lost > 0 {
+		s += fmt.Sprintf("  [lost %d]", st.lost)
+	}
+	return s
+}
+
+// watchRender consumes one NDJSON event stream and writes the live view.
+// It is the whole rendering path of `xtreectl watch <session>`, kept off
+// the network so tests can drive it with a canned stream.
+func watchRender(w io.Writer, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	st := &watchState{shards: make(map[int]int64)}
+	sawResult := false
+	for sc.Scan() {
+		e, err := telemetry.DecodeEvent(sc.Bytes())
+		if err != nil {
+			return fmt.Errorf("undecodable event: %v", err)
+		}
+		switch e.Type {
+		case telemetry.EventStart:
+			var p struct {
+				Workload   string `json:"workload"`
+				TreeNodes  int    `json:"tree_nodes"`
+				Partitions int    `json:"partitions"`
+			}
+			json.Unmarshal(e.Payload, &p)
+			fmt.Fprintf(w, "session %s: workload=%s nodes=%d partitions=%d\n",
+				e.Session, p.Workload, p.TreeNodes, p.Partitions)
+		case telemetry.EventCycle:
+			st.cycle = e.Cycle
+			st.delivered, st.emitted = e.Delivered, e.Emitted
+			st.hops += e.Hops
+			fmt.Fprintf(w, "\r\x1b[K%s", st.statusLine())
+		case telemetry.EventShard:
+			st.shards[e.Shard] = e.BarrierWaitNanos
+		case telemetry.EventHop:
+			st.hops++
+		case telemetry.EventDrop:
+			st.drops++
+		case telemetry.EventRetransmit:
+			st.retx++
+		case telemetry.EventKill:
+			st.kills++
+			fmt.Fprintf(w, "\r\x1b[Kcycle %d: %s %d killed\n", e.Cycle, e.Reason, e.Host)
+		case telemetry.EventDropped:
+			st.lost += e.Dropped
+			fmt.Fprintf(w, "\r\x1b[K… %d events lost to ring overwrite\n", e.Dropped)
+		case telemetry.EventHeartbeat:
+			// Idle keep-alive: nothing to draw.
+		case telemetry.EventError:
+			fmt.Fprintf(w, "\r\x1b[Ksession failed: %s\n", e.Reason)
+			return fmt.Errorf("session failed: %s", e.Reason)
+		case telemetry.EventResult:
+			sawResult = true
+			fmt.Fprintf(w, "\r\x1b[K%s\n", st.statusLine())
+			var resp server.SimulateResponse
+			if err := json.Unmarshal(e.Payload, &resp); err != nil {
+				return fmt.Errorf("result payload: %v", err)
+			}
+			fmt.Fprintf(w, "done: cycles=%d delivered=%d drops=%d retransmits=%d unreachable=%d elapsed=%.1fms\n",
+				resp.Sim.Cycles, resp.Sim.Delivered, resp.Sim.Drops,
+				resp.Sim.Retransmits, resp.Sim.Unreachable, resp.ElapsedMS)
+			if resp.Slowdown > 0 {
+				fmt.Fprintf(w, "slowdown vs ideal binary-tree machine: %.2fx (%d vs %d cycles)\n",
+					resp.Slowdown, resp.Sim.Cycles, resp.IdealCycles)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawResult {
+		fmt.Fprintf(w, "\r\x1b[Kstream ended before the result (session still running, or ring aged out)\n")
+	}
+	return nil
+}

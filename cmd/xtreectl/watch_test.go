@@ -1,0 +1,125 @@
+package main
+
+// watch_test.go drives the watch renderer two ways: against a canned
+// event stream (deterministic output shape) and against a real server's
+// replayed session (the full pipeline, network included).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xtreesim/internal/server"
+)
+
+func cannedStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	lines := []map[string]interface{}{
+		{"schema_version": 1, "type": "start", "session": "s-1",
+			"payload": map[string]interface{}{"workload": "divide-conquer", "tree_nodes": 200, "partitions": 2}},
+		{"schema_version": 1, "type": "cycle", "session": "s-1", "cycle": 1, "delivered": 3, "emitted": 10},
+		{"schema_version": 1, "type": "drop", "session": "s-1", "cycle": 1},
+		{"schema_version": 1, "type": "retransmit", "session": "s-1", "cycle": 2},
+		{"schema_version": 1, "type": "shard", "session": "s-1", "cycle": 2, "shard": 0, "barrier_wait_ns": 1500000},
+		{"schema_version": 1, "type": "shard", "session": "s-1", "cycle": 2, "shard": 1, "barrier_wait_ns": 200},
+		{"schema_version": 1, "type": "heartbeat", "session": "s-1"},
+		{"schema_version": 1, "type": "dropped", "session": "s-1", "dropped": 7},
+		{"schema_version": 1, "type": "cycle", "session": "s-1", "cycle": 2, "delivered": 10, "emitted": 10},
+		{"schema_version": 1, "type": "result", "session": "s-1",
+			"payload": map[string]interface{}{"sim": map[string]interface{}{"cycles": 2, "delivered": 10, "drops": 1, "retransmits": 1}, "elapsed_ms": 4.2}},
+	}
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestWatchRenderCanned(t *testing.T) {
+	var out bytes.Buffer
+	if err := watchRender(&out, bytes.NewReader(cannedStream(t))); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"session s-1: workload=divide-conquer nodes=200 partitions=2",
+		"cycle 2",
+		"delivered 10/10",
+		"drops 1",
+		"retx 1",
+		"shards 2",
+		"barrier max 1.50ms",
+		"… 7 events lost to ring overwrite",
+		"[lost 7]",
+		"done: cycles=2 delivered=10 drops=1 retransmits=1 unreachable=0 elapsed=4.2ms",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered view missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWatchRenderRejectsBadSchema(t *testing.T) {
+	var out bytes.Buffer
+	err := watchRender(&out, strings.NewReader(`{"schema_version":99,"type":"cycle"}`+"\n"))
+	if err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("unknown schema version not rejected: %v", err)
+	}
+}
+
+// TestWatchAgainstServer replays a real finished session through the
+// real attach endpoint and the renderer.
+func TestWatchAgainstServer(t *testing.T) {
+	s := server.New(server.Config{})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	body, _ := json.Marshal(server.SimulateRequest{
+		Tree:     &server.TreeSpec{Family: "random", N: 200, Seed: server.Seed(7)},
+		Workload: server.WorkloadDivideConquer,
+		Baseline: true,
+	})
+	resp, err := http.Post(s.URL()+"/v1/simulate?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Header.Get("X-Session-Id")
+	var first bytes.Buffer
+	if err := watchRender(&first, resp.Body); err != nil {
+		t.Fatalf("live render: %v\n%s", err, first.String())
+	}
+	resp.Body.Close()
+	if !strings.Contains(first.String(), "done: cycles=") {
+		t.Fatalf("live render never reached the result:\n%s", first.String())
+	}
+	if !strings.Contains(first.String(), "slowdown vs ideal") {
+		t.Fatalf("baseline run rendered no slowdown line:\n%s", first.String())
+	}
+
+	// Replay through the attach endpoint: same terminal state.
+	attach, err := http.Get(s.URL() + "/v1/sessions/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attach.Body.Close()
+	var replay bytes.Buffer
+	if err := watchRender(&replay, attach.Body); err != nil {
+		t.Fatalf("replay render: %v", err)
+	}
+	if !strings.Contains(replay.String(), "done: cycles=") {
+		t.Fatalf("replay render never reached the result:\n%s", replay.String())
+	}
+}

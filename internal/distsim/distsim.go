@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"xtreesim/internal/graph"
 	"xtreesim/internal/netsim"
@@ -48,6 +49,24 @@ type Config struct {
 	// Audit attaches a per-partition LinkAudit to every shard and a
 	// global one to the merged event stream; any violation fails the run.
 	Audit bool
+	// ShardSampler, when set, receives one ShardSample per shard per
+	// executed cycle.  It is called synchronously on the coordinator
+	// goroutine after the fire barrier, so it must be cheap and
+	// non-blocking (publish into a telemetry ring, not a socket).
+	ShardSampler func(ShardSample)
+}
+
+// ShardSample is one shard's share of one executed cycle: the live
+// telemetry counterpart of the end-of-run PartitionStats.
+type ShardSample struct {
+	Cycle       int
+	Shard       int
+	Hops        int // link traversals this shard executed this cycle
+	BoundaryOut int // messages this shard shipped to other shards this cycle
+	// BarrierWaitNanos is how long this shard's fire report sat waiting
+	// for the slowest shard of the cycle: the straggler cost of the
+	// epoch barrier.  The slowest shard of a cycle reads ~0.
+	BarrierWaitNanos int64
 }
 
 // PartitionStats describes one shard's share of the run.
@@ -105,17 +124,18 @@ type relOutcome struct {
 }
 
 type coord struct {
-	sim    netsim.Config
-	host   *graph.Graph
-	place  []int32
-	wl     netsim.Workload
-	parts  int
-	owner  []int32
-	ranker *netsim.EdgeRanker
-	tables [][]int32
-	hopFn  func(cur, dst int32) int32
-	fc     *netsim.FaultCoord
-	obs    netsim.Observer
+	sim     netsim.Config
+	host    *graph.Graph
+	place   []int32
+	wl      netsim.Workload
+	parts   int
+	owner   []int32
+	ranker  *netsim.EdgeRanker
+	tables  [][]int32
+	hopFn   func(cur, dst int32) int32
+	fc      *netsim.FaultCoord
+	obs     netsim.Observer
+	sampler func(ShardSample)
 
 	workers []*worker
 	wg      sync.WaitGroup
@@ -193,6 +213,7 @@ func newCoord(cfg Config, wl netsim.Workload) (*coord, error) {
 	c := &coord{
 		sim: sim, host: sim.Host, place: sim.Place, wl: wl,
 		parts: parts, owner: owner, hopFn: sim.NextHop, fc: fc,
+		sampler:     cfg.ShardSampler,
 		ranker:      netsim.NewEdgeRanker(sim.Host),
 		injNext:     make([][]netsim.Placement, parts),
 		boundaryOut: make([]int, parts),
@@ -418,6 +439,11 @@ func (c *coord) run(ctx context.Context) (netsim.Result, error) {
 			w.in <- workerCmd{fire: &fireCmd{cycle: cycle, dec: decs[k], ci: ci}}
 		}
 		fireReps := make([]*netsim.FireReport, c.parts)
+		var doneAt []time.Time
+		var lastDone time.Time
+		if c.sampler != nil {
+			doneAt = make([]time.Time, c.parts)
+		}
 		for k, w := range c.workers {
 			rep := <-w.out
 			if rep.err != nil {
@@ -427,9 +453,24 @@ func (c *coord) run(ctx context.Context) (netsim.Result, error) {
 			c.boundaryOut[k] += rep.boundaryOut
 			c.boundaryMsgs += rep.boundaryOut
 			c.boundaryByte += int64(rep.bytesOut)
+			if c.sampler != nil {
+				doneAt[k] = rep.doneAt
+				if rep.doneAt.After(lastDone) {
+					lastDone = rep.doneAt
+				}
+			}
 		}
 		if err := c.processFire(cycle, fireReps); err != nil {
 			return c.res, err
+		}
+		if c.sampler != nil {
+			for k, rep := range fireReps {
+				c.sampler(ShardSample{
+					Cycle: cycle, Shard: k, Hops: rep.HopCount,
+					BoundaryOut:      rep.BoundaryOut,
+					BarrierWaitNanos: lastDone.Sub(doneAt[k]).Nanoseconds(),
+				})
+			}
 		}
 	}
 	c.res.Cycles = maxCycles

@@ -3,11 +3,13 @@ package distsim
 import (
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/graph"
 	"xtreesim/internal/netsim"
+	"xtreesim/internal/telemetry"
 	"xtreesim/internal/xtree"
 )
 
@@ -69,10 +71,40 @@ func TestDistsimByteIdentical(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					trace := netsim.NewTraceRecorder()
 					cfg := base
-					cfg.Observers = []netsim.Observer{trace}
-					res, err := Run(Config{Sim: cfg, Partitions: parts, Partition: XTreeSubtrees, Audit: true}, mkWL())
+					// A live telemetry pipe with a deliberately tiny ring and
+					// a subscriber that never reads: the Result and trace must
+					// stay byte-identical anyway, with the overflow surfacing
+					// as counted drops instead of backpressure.
+					hub := telemetry.NewHub(32)
+					rec := telemetry.NewRecorder(hub, "t-"+name)
+					rec.StreamHops = true
+					stalled := hub.Subscribe(0)
+					var shardSamples atomic.Int64
+					cfg.Observers = []netsim.Observer{trace, rec}
+					res, err := Run(Config{Sim: cfg, Partitions: parts, Partition: XTreeSubtrees, Audit: true,
+						ShardSampler: func(s ShardSample) {
+							shardSamples.Add(1)
+							rec.Publish(telemetry.Event{
+								TraceEvent: netsim.TraceEvent{Type: telemetry.EventShard, Cycle: s.Cycle},
+								Shard:      s.Shard, Hops: s.Hops, BoundaryOut: s.BoundaryOut,
+								BarrierWaitNanos: s.BarrierWaitNanos,
+							})
+						}}, mkWL())
+					hub.Close()
 					if stripPrefix(err) != stripPrefix(refErr) {
 						t.Fatalf("error mismatch:\n dist: %v\n ref:  %v", err, refErr)
+					}
+					if published := hub.Published(); published == 0 {
+						t.Fatal("telemetry hub saw no events")
+					} else if got := shardSamples.Load(); got == 0 {
+						t.Fatal("shard sampler never fired")
+					} else if want := int64(res.Cycles) * int64(parts); got != want {
+						t.Fatalf("shard samples: got %d, want cycles(%d) x parts(%d) = %d",
+							got, res.Cycles, parts, want)
+					}
+					stalled.Close()
+					if pub := hub.Published(); pub > 32 && hub.Dropped() != pub-32 {
+						t.Fatalf("stalled subscriber drops: got %d, want %d", hub.Dropped(), pub-32)
 					}
 					if !reflect.DeepEqual(res, refRes) {
 						t.Fatalf("result mismatch:\n dist: %+v\n ref:  %+v", res, refRes)

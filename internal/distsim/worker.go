@@ -10,6 +10,7 @@ package distsim
 
 import (
 	"sync"
+	"time"
 
 	"xtreesim/internal/netsim"
 )
@@ -34,8 +35,9 @@ type workerCmd struct {
 type workerRep struct {
 	begin       *netsim.BeginReport
 	fire        *netsim.FireReport
-	boundaryOut int // messages shipped to other shards this fire
-	bytesOut    int // encoded frame bytes shipped this fire
+	boundaryOut int       // messages shipped to other shards this fire
+	bytesOut    int       // encoded frame bytes shipped this fire
+	doneAt      time.Time // when the fire phase finished on the worker
 	err         error
 }
 
@@ -66,7 +68,10 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			w.out <- workerRep{begin: &rep, err: err}
 		case cmd.fire != nil:
 			rep, nOut, bytes, err := w.fire(cmd.fire)
-			w.out <- workerRep{fire: rep, boundaryOut: nOut, bytesOut: bytes, err: err}
+			// Stamped on the worker, not at the coordinator's sequential
+			// reads: the spread of these stamps is the true straggler skew.
+			w.out <- workerRep{fire: rep, boundaryOut: nOut, bytesOut: bytes,
+				doneAt: time.Now(), err: err}
 		}
 	}
 }

@@ -278,25 +278,47 @@ func (a *LinkAudit) Err() error {
 	return fmt.Errorf("netsim: audit found %d invariant violation(s), first: %s", a.count, a.violations[0])
 }
 
-// TraceEvent is one recorded simulator event.  Type is one of "cycle",
-// "hop", "deliver", "drop", "retransmit", "kill"; unused fields are
-// omitted from the JSONL encoding.
+// TraceSchemaVersion is the schema stamped on every exported trace
+// event.  The TraceRecorder JSONL export and the live session stream
+// (internal/telemetry) share this version and the event-type enum below:
+// a consumer that can decode one can decode the other.  Decoders must
+// reject versions they do not know (DecodeTraceEvent does) instead of
+// silently misreading fields.
+const TraceSchemaVersion = 1
+
+// The event-type enum shared by the TraceRecorder JSONL export and the
+// streaming session schema.  The simulator emits exactly these six;
+// internal/telemetry extends the enum with stream-lifecycle types
+// (start, shard, heartbeat, dropped, result) for the live wire format.
+const (
+	EventCycle      = "cycle"      // per-cycle counter snapshot
+	EventHop        = "hop"        // one message crossing one directed link
+	EventDeliver    = "deliver"    // message reached its destination process
+	EventDrop       = "drop"       // message instance lost (see DropReason)
+	EventRetransmit = "retransmit" // delivery layer re-sent a message
+	EventKill       = "kill"       // scheduled link/vertex fault took effect
+)
+
+// TraceEvent is one recorded simulator event.  Type is one of the event
+// constants above (EventCycle..EventKill); unused fields are omitted
+// from the JSONL encoding.
 type TraceEvent struct {
-	Type    string `json:"type"`
-	Cycle   int    `json:"cycle"`
-	Edge    int    `json:"edge,omitempty"`
-	From    int32  `json:"from,omitempty"`
-	To      int32  `json:"to,omitempty"`
-	Host    int32  `json:"host,omitempty"`
-	Seq     int64  `json:"seq,omitempty"`
-	EvFrom  int32  `json:"evFrom,omitempty"`
-	EvTo    int32  `json:"evTo,omitempty"`
-	Kind    int32  `json:"kind,omitempty"`
-	Latency int    `json:"latency,omitempty"`
-	Local   bool   `json:"local,omitempty"`
-	Reason  string `json:"reason,omitempty"`
-	Attempt int    `json:"attempt,omitempty"`
-	Backlog int    `json:"backlog,omitempty"`
+	SchemaVersion int    `json:"schema_version"`
+	Type          string `json:"type"`
+	Cycle         int    `json:"cycle"`
+	Edge          int    `json:"edge,omitempty"`
+	From          int32  `json:"from,omitempty"`
+	To            int32  `json:"to,omitempty"`
+	Host          int32  `json:"host,omitempty"`
+	Seq           int64  `json:"seq,omitempty"`
+	EvFrom        int32  `json:"evFrom,omitempty"`
+	EvTo          int32  `json:"evTo,omitempty"`
+	Kind          int32  `json:"kind,omitempty"`
+	Latency       int    `json:"latency,omitempty"`
+	Local         bool   `json:"local,omitempty"`
+	Reason        string `json:"reason,omitempty"`
+	Attempt       int    `json:"attempt,omitempty"`
+	Backlog       int    `json:"backlog,omitempty"`
 	// Counter snapshot, only on "cycle" events.
 	Inflight    int `json:"inflight,omitempty"`
 	QueuedLinks int `json:"queuedLinks,omitempty"`
@@ -328,36 +350,37 @@ func (t *TraceRecorder) add(e TraceEvent) {
 		t.Truncated++
 		return
 	}
+	e.SchemaVersion = TraceSchemaVersion
 	t.events = append(t.events, e)
 }
 
 func (t *TraceRecorder) OnCycleStart(c CycleInfo) {
-	t.add(TraceEvent{Type: "cycle", Cycle: c.Cycle, Inflight: c.Inflight,
+	t.add(TraceEvent{Type: EventCycle, Cycle: c.Cycle, Inflight: c.Inflight,
 		QueuedLinks: c.QueuedLinks, QueuedLocal: c.QueuedLocal, Parked: c.Parked})
 }
 
 func (t *TraceRecorder) OnHop(h HopInfo) {
-	t.add(TraceEvent{Type: "hop", Cycle: h.Cycle, Edge: h.Edge, From: h.From, To: h.To,
+	t.add(TraceEvent{Type: EventHop, Cycle: h.Cycle, Edge: h.Edge, From: h.From, To: h.To,
 		Seq: h.Seq, EvFrom: h.Ev.From, EvTo: h.Ev.To, Kind: h.Ev.Kind, Backlog: h.Backlog})
 }
 
 func (t *TraceRecorder) OnDeliver(d DeliverInfo) {
-	t.add(TraceEvent{Type: "deliver", Cycle: d.Cycle, Host: d.Host, Seq: d.Seq,
+	t.add(TraceEvent{Type: EventDeliver, Cycle: d.Cycle, Host: d.Host, Seq: d.Seq,
 		EvFrom: d.Ev.From, EvTo: d.Ev.To, Kind: d.Ev.Kind, Latency: d.Latency, Local: d.Local})
 }
 
 func (t *TraceRecorder) OnDrop(d DropInfo) {
-	t.add(TraceEvent{Type: "drop", Cycle: d.Cycle, Seq: d.Seq, EvFrom: d.Ev.From,
+	t.add(TraceEvent{Type: EventDrop, Cycle: d.Cycle, Seq: d.Seq, EvFrom: d.Ev.From,
 		EvTo: d.Ev.To, Kind: d.Ev.Kind, Reason: d.Reason.String(), Attempt: d.Attempt})
 }
 
 func (t *TraceRecorder) OnRetransmit(r RetransmitInfo) {
-	t.add(TraceEvent{Type: "retransmit", Cycle: r.Cycle, Seq: r.Seq,
+	t.add(TraceEvent{Type: EventRetransmit, Cycle: r.Cycle, Seq: r.Seq,
 		EvFrom: r.Ev.From, EvTo: r.Ev.To, Kind: r.Ev.Kind, Attempt: r.Attempt})
 }
 
 func (t *TraceRecorder) OnKill(k KillInfo) {
-	e := TraceEvent{Type: "kill", Cycle: k.Cycle, From: k.U, To: k.V}
+	e := TraceEvent{Type: EventKill, Cycle: k.Cycle, From: k.U, To: k.V}
 	if k.Vertex {
 		e.Reason = "vertex"
 	} else {
@@ -368,6 +391,22 @@ func (t *TraceRecorder) OnKill(k KillInfo) {
 
 // Events returns the recorded events in simulation order.
 func (t *TraceRecorder) Events() []TraceEvent { return t.events }
+
+// DecodeTraceEvent parses one JSONL line of a TraceRecorder export.  It
+// rejects lines stamped with a schema version this build does not know:
+// a field could have been renamed or re-interpreted between versions,
+// and a silently misread trace is worse than a refused one.
+func DecodeTraceEvent(line []byte) (TraceEvent, error) {
+	var e TraceEvent
+	if err := json.Unmarshal(line, &e); err != nil {
+		return TraceEvent{}, fmt.Errorf("netsim: decode trace event: %w", err)
+	}
+	if e.SchemaVersion != TraceSchemaVersion {
+		return TraceEvent{}, fmt.Errorf("netsim: unsupported trace schema_version %d (this build reads %d)",
+			e.SchemaVersion, TraceSchemaVersion)
+	}
+	return e, nil
+}
 
 // WriteJSONL writes one JSON object per line per event.
 func (t *TraceRecorder) WriteJSONL(w io.Writer) error {

@@ -446,4 +446,32 @@ type HealthResponse struct {
 	Status        string  `json:"status"` // "ok" or "shutting_down"
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Version       string  `json:"version,omitempty"`
+	// ActiveSessions counts streaming simulate runs in flight right now.
+	ActiveSessions int `json:"active_sessions"`
+}
+
+// SessionInfo is one row of GET /v1/sessions.
+type SessionInfo struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"` // running, done, failed
+	Workload   string  `json:"workload"`
+	TreeNodes  int     `json:"tree_nodes"`
+	Partitions int     `json:"partitions,omitempty"`
+	StartedAt  string  `json:"started_at"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// Cycles is the last simulated cycle published — live progress while
+	// running, the final count once done.
+	Cycles int `json:"cycles"`
+	// Events and Dropped report the session's telemetry ring: events
+	// published, and events subscribers are known to have lost to ring
+	// overwrite.
+	Events      uint64 `json:"events"`
+	Dropped     uint64 `json:"dropped,omitempty"`
+	Subscribers int    `json:"subscribers"`
+	Error       string `json:"error,omitempty"`
+}
+
+// SessionsResponse is the body of GET /v1/sessions.
+type SessionsResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
 }

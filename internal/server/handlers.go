@@ -18,6 +18,7 @@ import (
 	"xtreesim/internal/distsim"
 	"xtreesim/internal/engine"
 	"xtreesim/internal/netsim"
+	"xtreesim/internal/telemetry"
 	"xtreesim/internal/trace"
 	"xtreesim/internal/universal"
 )
@@ -224,7 +225,10 @@ func (s *Server) embedUniversal(ctx context.Context, trees []*bintree.Tree) ([]E
 	return items, nil
 }
 
-// handleSimulate implements POST /v1/simulate.
+// handleSimulate implements POST /v1/simulate.  With ?stream=1 the
+// response is an NDJSON session stream instead of one JSON document;
+// either way the decode/validate/embed front is shared, so input errors
+// are always plain 4xx JSON, never half-open streams.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req SimulateRequest
@@ -267,6 +271,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		MaxCycles: req.MaxCycles,
 		Faults:    req.Faults.plan(),
 	}
+	if wantsStream(r) {
+		s.handleSimulateStream(w, r, &req, tree, cfg, embItem)
+		return
+	}
+	resp, err := s.runSimulate(ctx, &req, tree, cfg, embItem, nil)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSimulate executes the simulation half of /v1/simulate — the part
+// shared between the one-shot JSON response and the streaming session.
+// The returned error is already API-shaped (apiError).  rec, when
+// non-nil, receives per-shard telemetry samples on partitioned runs.
+func (s *Server) runSimulate(ctx context.Context, req *SimulateRequest, tree *bintree.Tree,
+	cfg netsim.Config, embItem EmbedItem, rec *telemetry.Recorder) (SimulateResponse, error) {
 	// The simulation runs under its own child span; the observer bridge
 	// turns every hop/delivery/retransmit into grandchild spans, so one
 	// trace covers embed + simulate.  The typed bridge must only enter
@@ -281,13 +304,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// stream feeding the span bridge) are byte-identical either way.
 	var simRes netsim.Result
 	var dist *DistInfo
+	var err error
 	if req.Partitions > 1 {
-		var st distsim.Stats
-		simRes, st, err = distsim.RunStats(ctx, distsim.Config{
+		dcfg := distsim.Config{
 			Sim:        cfg,
 			Partitions: req.Partitions,
 			Partition:  distsim.XTreeSubtrees,
-		}, req.workload(tree))
+		}
+		if rec != nil {
+			dcfg.ShardSampler = func(sm distsim.ShardSample) {
+				rec.Publish(telemetry.Event{
+					TraceEvent:       netsim.TraceEvent{Type: telemetry.EventShard, Cycle: sm.Cycle},
+					Shard:            sm.Shard,
+					Hops:             sm.Hops,
+					BoundaryOut:      sm.BoundaryOut,
+					BarrierWaitNanos: sm.BarrierWaitNanos,
+				})
+			}
+		}
+		var st distsim.Stats
+		simRes, st, err = distsim.RunStats(ctx, dcfg, req.workload(tree))
 		if err == nil {
 			dist = distInfo(req.Partitions, st)
 			s.dist.record(req.Partitions, st)
@@ -302,13 +338,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		simSpan.SetAttr("error", 1).End()
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeAPIError(w, ctxError(err))
-			return
+			return SimulateResponse{}, ctxError(err)
 		}
 		// Bad fault coordinates, impossible cycle caps, and similar
 		// input-shaped failures: the client can fix these.
-		writeAPIError(w, badRequest("simulate: %v", err))
-		return
+		return SimulateResponse{}, badRequest("simulate: %v", err)
 	}
 	simSpan.SetAttr("cycles", int64(simRes.Cycles)).SetAttr("delivered", int64(simRes.Delivered)).End()
 	resp := SimulateResponse{Embed: embItem, Sim: simCounters(simRes), Dist: dist}
@@ -326,11 +360,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			baseSpan.SetAttr("error", 1).End()
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				writeAPIError(w, ctxError(err))
-				return
+				return SimulateResponse{}, ctxError(err)
 			}
-			writeAPIError(w, badRequest("baseline: %v", err))
-			return
+			return SimulateResponse{}, badRequest("baseline: %v", err)
 		}
 		baseSpan.SetAttr("cycles", int64(ideal.Cycles)).End()
 		resp.IdealCycles = ideal.Cycles
@@ -338,6 +370,5 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			resp.Slowdown = float64(simRes.Cycles) / float64(ideal.Cycles)
 		}
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }

@@ -10,6 +10,7 @@ package server
 // canonical-tree cache sees a realistic repeat-heavy stream.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"xtreesim/internal/bintree"
 	"xtreesim/internal/metrics"
+	"xtreesim/internal/telemetry"
 )
 
 // LoadConfig configures one load-generation run.
@@ -56,6 +58,17 @@ type LoadConfig struct {
 	// every run before the knob existed replayed — kept reachable so
 	// historical BENCH_serve.json numbers stay reproducible.
 	Seed int64
+	// Host selects the embed host type for the request mix: "" or
+	// "xtree", "hypercube", "universal".  The e23 capacity sweep
+	// measures rps per core for each.
+	Host string
+	// StreamFrac is the fraction of workers (rounded to the nearest
+	// worker) that run streaming simulate sessions (?stream=1) and
+	// drain the NDJSON event stream instead of posting embeds.  With
+	// streamers attached the measured capacity includes the real cost
+	// of per-cycle observers and session bookkeeping, which is exactly
+	// what e23 wants to price.
+	StreamFrac float64
 }
 
 // mix64 is the splitmix64 finalizer over a key pair: a cheap, stateless
@@ -86,11 +99,29 @@ func workerSeed(s int64, w int) int64 {
 }
 
 // loadBodies pre-encodes the request mix: one body per distinct shape.
-func loadBodies(family string, treeN, shapes int, seed int64) ([][]byte, error) {
+func loadBodies(family string, treeN, shapes int, seed int64, host string) ([][]byte, error) {
 	bodies := make([][]byte, shapes)
 	for i := range bodies {
 		body, err := json.Marshal(EmbedRequest{
 			Tree: &TreeSpec{Family: family, N: treeN, Seed: Seed(shapeSeed(seed, i))},
+			Host: host,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	return bodies, nil
+}
+
+// simStreamBodies pre-encodes the streaming-worker mix: the same tree
+// shapes, but as streaming simulate sessions.
+func simStreamBodies(family string, treeN, shapes int, seed int64) ([][]byte, error) {
+	bodies := make([][]byte, shapes)
+	for i := range bodies {
+		body, err := json.Marshal(SimulateRequest{
+			Tree:     &TreeSpec{Family: family, N: treeN, Seed: Seed(shapeSeed(seed, i))},
+			Workload: WorkloadDivideConquer,
 		})
 		if err != nil {
 			return nil, err
@@ -107,6 +138,9 @@ type LoadReport struct {
 	Shed               int           // 429 responses
 	Errors             int           // transport errors and non-200/429 statuses
 	CacheHits          int           // 200 responses answered from the engine cache
+	StreamSessions     int           // OK responses that were drained stream=1 sessions
+	StreamEvents       int64         // NDJSON events read across those sessions
+	StreamDropped      int64         // events lost to ring overwrite (sum of dropped markers)
 	Elapsed            time.Duration // wall time of the whole run
 	Throughput         float64       // OK responses per second
 	Latency            *metrics.Histogram
@@ -114,10 +148,15 @@ type LoadReport struct {
 }
 
 func (r *LoadReport) String() string {
-	return fmt.Sprintf("requests=%d ok=%d shed=%d errors=%d hits=%d elapsed=%s thpt=%.1f/s p50=%s p95=%s p99=%s max=%s",
+	s := fmt.Sprintf("requests=%d ok=%d shed=%d errors=%d hits=%d elapsed=%s thpt=%.1f/s p50=%s p95=%s p99=%s max=%s",
 		r.Requests, r.OK, r.Shed, r.Errors, r.CacheHits, r.Elapsed.Round(time.Millisecond),
 		r.Throughput, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	if r.StreamSessions > 0 {
+		s += fmt.Sprintf(" streams=%d stream_events=%d stream_dropped=%d",
+			r.StreamSessions, r.StreamEvents, r.StreamDropped)
+	}
+	return s
 }
 
 // RunLoad drives the server at cfg.BaseURL and reports what the clients
@@ -150,12 +189,30 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if _, ok := familyByName(family); !ok {
 		return nil, fmt.Errorf("loadgen: unknown family %q", family)
 	}
+	switch cfg.Host {
+	case "", HostXTree, HostHypercube, HostUniversal:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown host %q", cfg.Host)
+	}
+	if cfg.StreamFrac < 0 || cfg.StreamFrac > 1 {
+		return nil, fmt.Errorf("loadgen: stream-frac %v outside [0,1]", cfg.StreamFrac)
+	}
+	streamWorkers := int(cfg.StreamFrac*float64(conc) + 0.5)
+	if cfg.StreamFrac > 0 && streamWorkers == 0 {
+		streamWorkers = 1 // a nonzero fraction always attaches at least one
+	}
 
 	// Pre-encode the request bodies: the generator must not spend its
 	// own time budget building JSON inside the measured loop.
-	bodies, err := loadBodies(family, treeN, shapes, cfg.Seed)
+	bodies, err := loadBodies(family, treeN, shapes, cfg.Seed, cfg.Host)
 	if err != nil {
 		return nil, err
+	}
+	var streamBodies [][]byte
+	if streamWorkers > 0 {
+		if streamBodies, err = simStreamBodies(family, treeN, shapes, cfg.Seed); err != nil {
+			return nil, err
+		}
 	}
 
 	client := &http.Client{
@@ -168,12 +225,60 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 	var next atomic.Int64
 	var ok, shed, errs, hits atomic.Int64
+	var streamSessions, streamEvents, streamDropped atomic.Int64
 	hists := make([]*metrics.Histogram, conc)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < conc; w++ {
 		hists[w] = metrics.NewLatencyHistogram()
 		wg.Add(1)
+		// The first streamWorkers workers run streaming simulate sessions
+		// against the shared request budget; the rest post embeds.
+		if w < streamWorkers {
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(workerSeed(cfg.Seed, w)))
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(total) {
+						return
+					}
+					body := streamBodies[rng.Intn(shapes)]
+					t0 := time.Now()
+					resp, err := client.Post(cfg.BaseURL+"/v1/simulate?stream=1",
+						"application/json", bytes.NewReader(body))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						events, dropped, err := drainStream(resp.Body)
+						resp.Body.Close()
+						hists[w].Observe(time.Since(t0).Seconds())
+						if err != nil {
+							errs.Add(1)
+							continue
+						}
+						ok.Add(1)
+						streamSessions.Add(1)
+						streamEvents.Add(events)
+						streamDropped.Add(dropped)
+					case http.StatusTooManyRequests:
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						hists[w].Observe(time.Since(t0).Seconds())
+						shed.Add(1)
+					default:
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						hists[w].Observe(time.Since(t0).Seconds())
+						errs.Add(1)
+					}
+				}
+			}(w)
+			continue
+		}
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(workerSeed(cfg.Seed, w)))
@@ -230,20 +335,60 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	sum := merged.Summary()
 	rep := &LoadReport{
-		Requests:  total,
-		OK:        int(ok.Load()),
-		Shed:      int(shed.Load()),
-		Errors:    int(errs.Load()),
-		CacheHits: int(hits.Load()),
-		Elapsed:   elapsed,
-		Latency:   merged,
-		P50:       time.Duration(sum.P50 * float64(time.Second)),
-		P95:       time.Duration(sum.P95 * float64(time.Second)),
-		P99:       time.Duration(sum.P99 * float64(time.Second)),
-		Max:       time.Duration(sum.Max * float64(time.Second)),
+		Requests:       total,
+		OK:             int(ok.Load()),
+		Shed:           int(shed.Load()),
+		Errors:         int(errs.Load()),
+		CacheHits:      int(hits.Load()),
+		StreamSessions: int(streamSessions.Load()),
+		StreamEvents:   streamEvents.Load(),
+		StreamDropped:  streamDropped.Load(),
+		Elapsed:        elapsed,
+		Latency:        merged,
+		P50:            time.Duration(sum.P50 * float64(time.Second)),
+		P95:            time.Duration(sum.P95 * float64(time.Second)),
+		P99:            time.Duration(sum.P99 * float64(time.Second)),
+		Max:            time.Duration(sum.Max * float64(time.Second)),
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// drainStream reads a simulate session's NDJSON to EOF, counting events
+// and summing dropped markers.  A stream that does not end in a result
+// event is an error: the session died or the connection was cut short.
+func drainStream(r io.Reader) (events, dropped int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	sawResult := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		events++
+		// Full decode per line: the point of a streaming worker is to pay
+		// what a real watching client pays.
+		e, derr := telemetry.DecodeEvent(line)
+		if derr != nil {
+			return events, dropped, derr
+		}
+		switch e.Type {
+		case telemetry.EventDropped:
+			dropped += int64(e.Dropped)
+		case telemetry.EventResult:
+			sawResult = true
+		case telemetry.EventError:
+			return events, dropped, fmt.Errorf("session failed: %s", e.Reason)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return events, dropped, err
+	}
+	if !sawResult {
+		return events, dropped, fmt.Errorf("stream ended without a result event")
+	}
+	return events, dropped, nil
 }

@@ -49,6 +49,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so NDJSON session streams can
+// push each batch through the instrument middleware immediately.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // writeJSON writes v with the given status; encoding failures are a
 // programming error and fall through to the recovery middleware.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -82,6 +82,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var b strings.Builder
 
+	writeHelp(&b, "xtreesim_build_info", "gauge", "Build identity of the running binary; the value is always 1.")
+	fmt.Fprintf(&b, "xtreesim_build_info{version=\"%s\"} 1\n", escapeLabelValue(s.version))
+
 	writeHelp(&b, "xtreesim_http_requests_total", "counter", "HTTP requests served, by route and status code.")
 	for _, rc := range s.metrics.snapshotRequests() {
 		fmt.Fprintf(&b, "xtreesim_http_requests_total{route=\"%s\",code=\"%d\"} %d\n",
@@ -196,6 +199,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, c := range ds.shardBoundary {
 		fmt.Fprintf(&b, "xtreesim_dist_partition_boundary_out_total{partition=\"%d\"} %d\n", c.key, c.count)
 	}
+
+	// Live-telemetry series: streaming sessions, attached event streams,
+	// and — the honesty metric — how many events subscribers lost to ring
+	// overwrite instead of stalling the simulator.
+	writeHelp(&b, "xtreesim_session_active", "gauge", "Streaming simulate sessions running right now.")
+	fmt.Fprintf(&b, "xtreesim_session_active %d\n", s.sessions.active())
+	writeHelp(&b, "xtreesim_sessions_started_total", "counter", "Streaming simulate sessions opened.")
+	fmt.Fprintf(&b, "xtreesim_sessions_started_total %d\n", s.sessions.started.Load())
+	writeHelp(&b, "xtreesim_sessions_completed_total", "counter", "Streaming sessions finished successfully.")
+	fmt.Fprintf(&b, "xtreesim_sessions_completed_total %d\n", s.sessions.completed.Load())
+	writeHelp(&b, "xtreesim_sessions_failed_total", "counter", "Streaming sessions finished with an error.")
+	fmt.Fprintf(&b, "xtreesim_sessions_failed_total %d\n", s.sessions.failed.Load())
+	writeHelp(&b, "xtreesim_session_events_published_total", "counter", "Telemetry events published into session rings (live and recent sessions).")
+	fmt.Fprintf(&b, "xtreesim_session_events_published_total %d\n", s.sessions.eventsTotal())
+	writeHelp(&b, "xtreesim_session_streams_active", "gauge", "Attached session event streams (GET /v1/sessions/{id}/events).")
+	fmt.Fprintf(&b, "xtreesim_session_streams_active %d\n", s.streams.Active())
+	writeHelp(&b, "xtreesim_telemetry_dropped_total", "counter", "Telemetry events lost to ring overwrite because a subscriber fell behind.")
+	fmt.Fprintf(&b, "xtreesim_telemetry_dropped_total %d\n", s.sessions.droppedTotal())
 
 	if s.tracer != nil {
 		phases := s.tracer.PhaseHistograms()

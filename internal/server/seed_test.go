@@ -114,15 +114,15 @@ func TestLoadgenSeedStreams(t *testing.T) {
 
 	// The encoded request mixes differ between masters and reproduce
 	// within one.
-	a1, err := loadBodies("random", 200, 4, 1)
+	a1, err := loadBodies("random", 200, 4, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := loadBodies("random", 200, 4, 1)
+	a2, err := loadBodies("random", 200, 4, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := loadBodies("random", 200, 4, 2)
+	b, err := loadBodies("random", 200, 4, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,12 +22,16 @@
 //
 // Routes:
 //
-//	POST /v1/embed     embed one tree or a batch (host: xtree/hypercube/universal)
-//	POST /v1/simulate  embed + run a workload on the simulated X-tree machine
-//	GET  /healthz      liveness + uptime
-//	GET  /metrics      Prometheus text exposition
-//	GET  /debug/trace  exported spans (JSONL; ?format=chrome for chrome://tracing)
-//	GET  /debug/pprof  runtime profiles (only with Config.EnablePprof)
+//	POST /v1/embed                 embed one tree or a batch (host: xtree/hypercube/universal)
+//	POST /v1/simulate              embed + run a workload on the simulated X-tree machine
+//	                               (?stream=1 streams the run as an NDJSON session)
+//	GET  /v1/sessions              list live and recent streaming sessions
+//	GET  /v1/sessions/{id}/events  attach to a session's event stream (NDJSON,
+//	                               Last-Event-ID resume)
+//	GET  /healthz                  liveness + uptime + active session count
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/trace              exported spans (JSONL; ?format=chrome for chrome://tracing)
+//	GET  /debug/pprof              runtime profiles (only with Config.EnablePprof)
 package server
 
 import (
@@ -43,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"xtreesim/internal/buildinfo"
 	"xtreesim/internal/engine"
 	"xtreesim/internal/trace"
 )
@@ -53,6 +58,11 @@ const (
 	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB of JSON is ~a 25k-node encoded tree batch
 	DefaultMaxBatch       = 64
 	DefaultMaxTreeNodes   = 1 << 17
+	// DefaultHeartbeatInterval paces the keep-alive events on idle
+	// session streams; DefaultStreamTimeout bounds how long one attach
+	// connection may stay open.
+	DefaultHeartbeatInterval = 10 * time.Second
+	DefaultStreamTimeout     = 10 * time.Minute
 )
 
 // Config configures a Server.  The zero value listens on 127.0.0.1:0
@@ -121,8 +131,28 @@ type Config struct {
 	// CPU, so the operator opts in (xtree-serve -pprof).
 	EnablePprof bool
 
-	// Version is reported by /healthz (e.g. from buildinfo.Version).
+	// Version is reported by /healthz and the xtreesim_build_info metric;
+	// "" means buildinfo.Version().
 	Version string
+
+	// MaxStreams bounds concurrently attached session event streams
+	// (GET /v1/sessions/{id}/events); ≤ 0 means 2×MaxConcurrent.
+	// Streaming simulate requests are not counted here — they hold an
+	// admission slot for the whole stream instead.
+	MaxStreams int
+	// HeartbeatInterval paces keep-alive events on idle streams (≤ 0
+	// means DefaultHeartbeatInterval).
+	HeartbeatInterval time.Duration
+	// StreamTimeout bounds one attach connection (≤ 0 means
+	// DefaultStreamTimeout).
+	StreamTimeout time.Duration
+	// TelemetryRing sets the per-session event ring size (≤ 0 means
+	// telemetry.DefaultRingSize).  Subscribers further behind than the
+	// ring lose events, visibly, instead of stalling the simulator.
+	TelemetryRing int
+	// RecentSessions is how many finished sessions stay listable and
+	// attachable (≤ 0 means DefaultRecentSessions).
+	RecentSessions int
 }
 
 // Server is one serving process.  Create with New, boot with Start, stop
@@ -143,6 +173,12 @@ type Server struct {
 	maxBodyBytes   int64
 	maxBatch       int
 	maxTreeNodes   int
+
+	sessions          *sessionRegistry
+	streams           *streamGate
+	heartbeatInterval time.Duration
+	streamTimeout     time.Duration
+	telemetryRing     int
 
 	httpServer *http.Server
 	listener   net.Listener
@@ -175,26 +211,45 @@ func New(cfg Config) *Server {
 		// (each /v1/simulate can emit hundreds of hop spans).
 		tracer = trace.New(trace.Config{SampleRate: cfg.TraceSample, RingSize: 1 << 15})
 	}
+	maxStreams := cfg.MaxStreams
+	if maxStreams <= 0 {
+		maxStreams = 2 * maxConc
+	}
+	version := cfg.Version
+	if version == "" {
+		version = buildinfo.Version()
+	}
 	s := &Server{
-		pool:           pool,
-		snapshotPath:   cfg.SnapshotPath,
-		admit:          newAdmission(maxConc, maxQueue),
-		metrics:        newServerMetrics(),
-		dist:           newDistMetrics(),
-		logger:         logger,
-		accessLog:      cfg.AccessLog,
-		version:        cfg.Version,
-		tracer:         tracer,
-		enablePprof:    cfg.EnablePprof,
-		requestTimeout: cfg.RequestTimeout,
-		maxBodyBytes:   cfg.MaxBodyBytes,
-		maxBatch:       cfg.MaxBatch,
-		maxTreeNodes:   cfg.MaxTreeNodes,
-		started:        time.Now(),
-		serveErr:       make(chan error, 1),
+		pool:              pool,
+		snapshotPath:      cfg.SnapshotPath,
+		admit:             newAdmission(maxConc, maxQueue),
+		metrics:           newServerMetrics(),
+		dist:              newDistMetrics(),
+		logger:            logger,
+		accessLog:         cfg.AccessLog,
+		version:           version,
+		tracer:            tracer,
+		enablePprof:       cfg.EnablePprof,
+		requestTimeout:    cfg.RequestTimeout,
+		maxBodyBytes:      cfg.MaxBodyBytes,
+		maxBatch:          cfg.MaxBatch,
+		maxTreeNodes:      cfg.MaxTreeNodes,
+		sessions:          newSessionRegistry(cfg.RecentSessions),
+		streams:           &streamGate{max: int64(maxStreams)},
+		heartbeatInterval: cfg.HeartbeatInterval,
+		streamTimeout:     cfg.StreamTimeout,
+		telemetryRing:     cfg.TelemetryRing,
+		started:           time.Now(),
+		serveErr:          make(chan error, 1),
 	}
 	if s.requestTimeout <= 0 {
 		s.requestTimeout = DefaultRequestTimeout
+	}
+	if s.heartbeatInterval <= 0 {
+		s.heartbeatInterval = DefaultHeartbeatInterval
+	}
+	if s.streamTimeout <= 0 {
+		s.streamTimeout = DefaultStreamTimeout
 	}
 	if s.maxBodyBytes <= 0 {
 		s.maxBodyBytes = DefaultMaxBodyBytes
@@ -271,6 +326,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/embed", s.guarded("/v1/embed", s.handleEmbed))
 	mux.Handle("/v1/simulate", s.guarded("/v1/simulate", s.handleSimulate))
+	// The session routes stay outside the admission gate: listing is
+	// cheap, and attach streams are bounded by their own MaxStreams
+	// budget (a queued-then-admitted stream would hold an API slot for
+	// minutes and starve embed traffic).
+	mux.Handle("/v1/sessions", s.instrument("/v1/sessions", s.handleSessions))
+	mux.Handle("/v1/sessions/{id}/events", s.instrument("/v1/sessions/events", s.handleSessionEvents))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	if s.tracer != nil {
@@ -287,7 +348,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	mux.Handle("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, CodeNotFound, "no such route (have /v1/embed, /v1/simulate, /healthz, /metrics)")
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such route (have /v1/embed, /v1/simulate, /v1/sessions, /healthz, /metrics)")
 	}))
 	return mux
 }
@@ -381,9 +442,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        status,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Version:       s.version,
+		Status:         status,
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Version:        s.version,
+		ActiveSessions: s.sessions.active(),
 	})
 }
 

@@ -558,17 +558,33 @@ func TestMetricsEndpoint(t *testing.T) {
 		"xtreesim_engine_workers",
 		"xtreesim_engine_utilization",
 		"xtreesim_uptime_seconds",
+		`xtreesim_build_info{version="`,
+		"xtreesim_session_active 0",
+		"xtreesim_sessions_started_total 0",
+		"xtreesim_session_streams_active 0",
+		"xtreesim_telemetry_dropped_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
 	}
 	// Well-formedness: every non-comment line is "name[{labels}] value".
+	// Label values may legitimately contain spaces (build_info's version),
+	// so cut the label block before field-splitting.
 	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		if fields := strings.Fields(line); len(fields) != 2 {
+		check := line
+		if i := strings.Index(check, "{"); i >= 0 {
+			j := strings.LastIndex(check, "}")
+			if j < i {
+				t.Errorf("unbalanced labels in metric line %q", line)
+				continue
+			}
+			check = check[:i] + check[j+1:]
+		}
+		if fields := strings.Fields(check); len(fields) != 2 {
 			t.Errorf("malformed metric line %q", line)
 		}
 	}

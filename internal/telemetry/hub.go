@@ -1,0 +1,220 @@
+package telemetry
+
+// hub.go is the fan-out core: one bounded ring of events, N independent
+// read cursors.  Publish is O(1), never blocks, and never waits on a
+// subscriber; a subscriber that falls more than one ring behind loses
+// the overwritten events and gets an exact count of how many.
+
+import (
+	"context"
+	"sync"
+)
+
+// DefaultRingSize bounds a hub's memory when the caller does not choose:
+// 4096 events is a few hundred KiB and several cycles of headroom for
+// every workload in the repo.
+const DefaultRingSize = 4096
+
+// Hub is a bounded single-ring broadcast channel for Events.  One
+// goroutine publishes (the simulating goroutine, via Recorder); any
+// number of Subscribers read at their own pace.  All methods are safe
+// for concurrent use.
+type Hub struct {
+	mu      sync.Mutex
+	ring    []Event
+	size    uint64
+	next    uint64 // sequence number of the next event to publish
+	closed  bool
+	subs    map[*Subscriber]struct{}
+	dropped uint64 // events recognized as lost by subscribers
+}
+
+// NewHub returns a hub retaining the last ringSize events (≤ 0 means
+// DefaultRingSize).
+func NewHub(ringSize int) *Hub {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Hub{
+		ring: make([]Event, ringSize),
+		size: uint64(ringSize),
+		subs: make(map[*Subscriber]struct{}),
+	}
+}
+
+// Publish stamps the event with the schema version and the next stream
+// sequence number, stores it in the ring (overwriting the oldest event
+// once the ring is full), wakes every subscriber, and returns the
+// assigned sequence number.  It never blocks: a stalled subscriber
+// costs one skipped channel send, nothing more.
+func (h *Hub) Publish(e Event) uint64 {
+	h.mu.Lock()
+	e.SchemaVersion = SchemaVersion
+	e.StreamSeq = h.next
+	h.ring[h.next%h.size] = e
+	seq := h.next
+	h.next++
+	for s := range h.subs {
+		select {
+		case s.notify <- struct{}{}:
+		default: // already signaled; the reader will catch up
+		}
+	}
+	h.mu.Unlock()
+	return seq
+}
+
+// Close marks the stream complete.  Subscribers drain whatever the ring
+// still holds and then see end-of-stream.  Publishing after Close is a
+// programming error but harmless: the event lands in the ring and is
+// visible to subscribers that have not drained yet.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	for s := range h.subs {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Published reports how many events have been published so far (also the
+// sequence number the next event will get).
+func (h *Hub) Published() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next
+}
+
+// Closed reports whether the stream has been completed.
+func (h *Hub) Closed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Dropped reports the events recognized as lost across all subscribers,
+// current and closed.  Losses are accounted when a subscriber next reads
+// (or closes), so the counter trails a stalled-but-attached subscriber
+// until it moves.
+func (h *Hub) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// oldestLocked returns the sequence of the oldest event still in the
+// ring.  Callers hold h.mu.
+func (h *Hub) oldestLocked() uint64 {
+	if h.next <= h.size {
+		return 0
+	}
+	return h.next - h.size
+}
+
+// Subscribe attaches a reader starting at sequence from.  Sequences
+// already overwritten count as dropped on the first read; a sequence
+// beyond the live tail is honored as-is — the subscriber waits until
+// publishing catches up (or sees end-of-stream at close), which makes
+// a far-future cursor a pure-heartbeat stream for its consumer.  Use
+// Published() as from to follow only new events, 0 to replay the whole
+// retained ring.
+func (h *Hub) Subscribe(from uint64) *Subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &Subscriber{
+		hub:    h,
+		cursor: from,
+		notify: make(chan struct{}, 1),
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// Subscribers reports the readers currently attached.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Subscriber is one read cursor over a hub's ring.  Not safe for
+// concurrent use by multiple goroutines (one reader per subscriber).
+type Subscriber struct {
+	hub     *Hub
+	cursor  uint64
+	dropped uint64
+	notify  chan struct{}
+	closed  bool
+}
+
+// Next returns the next batch of events (at most maxBatch; ≤ 0 means
+// the whole backlog), plus how many events were overwritten before this
+// read could see them.  A (nil, 0, false, nil) return means the stream
+// is complete and fully drained.  When nothing is pending, Next blocks
+// until an event arrives, the hub closes, or ctx fires.
+func (s *Subscriber) Next(ctx context.Context, maxBatch int) (events []Event, dropped uint64, ok bool, err error) {
+	for {
+		h := s.hub
+		h.mu.Lock()
+		if oldest := h.oldestLocked(); s.cursor < oldest {
+			d := oldest - s.cursor
+			s.dropped += d
+			h.dropped += d
+			dropped += d
+			s.cursor = oldest
+		}
+		var n uint64
+		if h.next > s.cursor { // a future cursor has nothing to read yet
+			n = h.next - s.cursor
+		}
+		if maxBatch > 0 && n > uint64(maxBatch) {
+			n = uint64(maxBatch)
+		}
+		if n > 0 {
+			events = make([]Event, n)
+			for i := uint64(0); i < n; i++ {
+				events[i] = h.ring[(s.cursor+i)%h.size]
+			}
+			s.cursor += n
+		}
+		closed := h.closed
+		h.mu.Unlock()
+
+		if len(events) > 0 || dropped > 0 {
+			return events, dropped, true, nil
+		}
+		if closed {
+			return nil, 0, false, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, 0, false, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}
+
+// Dropped reports the events this subscriber is known to have lost.
+func (s *Subscriber) Dropped() uint64 { return s.dropped }
+
+// Close detaches the subscriber.  Events it never read but that were
+// already overwritten are accounted as dropped, so a stalled client that
+// disconnects still shows up in the hub's drop counter.
+func (s *Subscriber) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	h := s.hub
+	h.mu.Lock()
+	if oldest := h.oldestLocked(); s.cursor < oldest {
+		d := oldest - s.cursor
+		s.dropped += d
+		h.dropped += d
+	}
+	delete(h.subs, s)
+	h.mu.Unlock()
+}

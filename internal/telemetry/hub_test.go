@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"xtreesim/internal/netsim"
+)
+
+func cycleEvent(cycle int) Event {
+	return Event{TraceEvent: netsim.TraceEvent{Type: EventCycle, Cycle: cycle}}
+}
+
+func TestHubOrderAndSeq(t *testing.T) {
+	h := NewHub(16)
+	sub := h.Subscribe(0)
+	defer sub.Close()
+	for i := 1; i <= 5; i++ {
+		if seq := h.Publish(cycleEvent(i)); seq != uint64(i-1) {
+			t.Fatalf("publish %d assigned seq %d", i, seq)
+		}
+	}
+	evs, dropped, ok, err := sub.Next(context.Background(), 0)
+	if err != nil || !ok || dropped != 0 {
+		t.Fatalf("Next: evs=%d dropped=%d ok=%v err=%v", len(evs), dropped, ok, err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.StreamSeq != uint64(i) || e.Cycle != i+1 {
+			t.Fatalf("event %d: seq=%d cycle=%d", i, e.StreamSeq, e.Cycle)
+		}
+		if e.SchemaVersion != SchemaVersion {
+			t.Fatalf("event %d: schema version %d", i, e.SchemaVersion)
+		}
+	}
+}
+
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	h := NewHub(8)
+	sub := h.Subscribe(0)
+	defer sub.Close()
+	for i := 0; i < 20; i++ { // 12 of these overwrite unread events
+		h.Publish(cycleEvent(i))
+	}
+	evs, dropped, ok, _ := sub.Next(context.Background(), 0)
+	if !ok {
+		t.Fatal("stream ended early")
+	}
+	if dropped != 12 {
+		t.Fatalf("dropped=%d, want 12", dropped)
+	}
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want the 8 retained", len(evs))
+	}
+	if evs[0].StreamSeq != 12 || evs[7].StreamSeq != 19 {
+		t.Fatalf("retained window [%d,%d], want [12,19]", evs[0].StreamSeq, evs[7].StreamSeq)
+	}
+	if sub.Dropped() != 12 || h.Dropped() != 12 {
+		t.Fatalf("drop counters: sub=%d hub=%d", sub.Dropped(), h.Dropped())
+	}
+}
+
+// TestHubPublishNeverBlocks pins the backpressure contract: thousands of
+// publishes against a subscriber that never reads must complete
+// immediately.
+func TestHubPublishNeverBlocks(t *testing.T) {
+	h := NewHub(4)
+	sub := h.Subscribe(0) // attached, never reads
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			h.Publish(cycleEvent(i))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a stalled subscriber")
+	}
+	// The stalled subscriber's losses are accounted when it detaches.
+	sub.Close()
+	if got := h.Dropped(); got != 10000-4 {
+		t.Fatalf("hub dropped %d, want %d", got, 10000-4)
+	}
+}
+
+func TestHubCloseDrainsThenEOF(t *testing.T) {
+	h := NewHub(16)
+	sub := h.Subscribe(0)
+	defer sub.Close()
+	h.Publish(cycleEvent(1))
+	h.Close()
+	evs, _, ok, err := sub.Next(context.Background(), 0)
+	if err != nil || !ok || len(evs) != 1 {
+		t.Fatalf("drain: evs=%d ok=%v err=%v", len(evs), ok, err)
+	}
+	if _, _, ok, err := sub.Next(context.Background(), 0); ok || err != nil {
+		t.Fatalf("want clean EOF, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestHubSubscribeResume(t *testing.T) {
+	h := NewHub(16)
+	for i := 0; i < 10; i++ {
+		h.Publish(cycleEvent(i))
+	}
+	h.Close()
+	sub := h.Subscribe(6) // Last-Event-ID style resume
+	defer sub.Close()
+	evs, dropped, ok, _ := sub.Next(context.Background(), 0)
+	if !ok || dropped != 0 || len(evs) != 4 || evs[0].StreamSeq != 6 {
+		t.Fatalf("resume: evs=%d dropped=%d first=%d", len(evs), dropped, evs[0].StreamSeq)
+	}
+	// Tail subscription sees nothing but the EOF.
+	tail := h.Subscribe(h.Published())
+	defer tail.Close()
+	if _, _, ok, _ := tail.Next(context.Background(), 0); ok {
+		t.Fatal("tail subscriber saw events on a closed, drained hub")
+	}
+}
+
+func TestHubNextBlocksUntilPublish(t *testing.T) {
+	h := NewHub(16)
+	sub := h.Subscribe(0)
+	defer sub.Close()
+	got := make(chan int, 1)
+	go func() {
+		evs, _, _, _ := sub.Next(context.Background(), 0)
+		got <- len(evs)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Publish(cycleEvent(7))
+	select {
+	case n := <-got:
+		if n != 1 {
+			t.Fatalf("woke with %d events", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next never woke")
+	}
+	// Context cancellation unblocks too.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, err := sub.Next(ctx, 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("ctx cancel returned %v", err)
+	}
+}
+
+// TestHubConcurrent exercises one publisher against several readers
+// under the race detector.
+func TestHubConcurrent(t *testing.T) {
+	h := NewHub(64)
+	const subs, events = 4, 2000
+	var wg sync.WaitGroup
+	totals := make([]uint64, subs)
+	for s := 0; s < subs; s++ {
+		sub := h.Subscribe(0)
+		wg.Add(1)
+		go func(s int, sub *Subscriber) {
+			defer wg.Done()
+			defer sub.Close()
+			var seen, dropped uint64
+			var last int64 = -1
+			for {
+				evs, d, ok, err := sub.Next(context.Background(), 0)
+				if err != nil {
+					t.Errorf("sub %d: %v", s, err)
+					return
+				}
+				if !ok {
+					break
+				}
+				dropped += d
+				for _, e := range evs {
+					if int64(e.StreamSeq) <= last {
+						t.Errorf("sub %d: seq %d after %d", s, e.StreamSeq, last)
+						return
+					}
+					last = int64(e.StreamSeq)
+					seen++
+				}
+			}
+			totals[s] = seen + dropped
+		}(s, sub)
+	}
+	for i := 0; i < events; i++ {
+		h.Publish(cycleEvent(i))
+	}
+	h.Close()
+	wg.Wait()
+	for s, n := range totals {
+		if n != events {
+			t.Errorf("sub %d: seen+dropped = %d, want %d", s, n, events)
+		}
+	}
+}
+
+func TestHubBatchLimit(t *testing.T) {
+	h := NewHub(16)
+	sub := h.Subscribe(0)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		h.Publish(cycleEvent(i))
+	}
+	evs, _, ok, _ := sub.Next(context.Background(), 3)
+	if !ok || len(evs) != 3 || evs[0].StreamSeq != 0 {
+		t.Fatalf("first batch: %d events", len(evs))
+	}
+	evs, _, ok, _ = sub.Next(context.Background(), 0)
+	if !ok || len(evs) != 7 || evs[0].StreamSeq != 3 {
+		t.Fatalf("second batch: %d events starting %d", len(evs), evs[0].StreamSeq)
+	}
+}
+
+// TestHubFutureCursor: a subscriber ahead of the stream reads nothing
+// (and drops nothing) until publishing catches up with its cursor.
+func TestHubFutureCursor(t *testing.T) {
+	h := NewHub(8)
+	for i := 0; i < 3; i++ {
+		h.Publish(Event{TraceEvent: netsim.TraceEvent{Type: EventCycle, Cycle: i}})
+	}
+	sub := h.Subscribe(5)
+	defer sub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	events, dropped, ok, err := sub.Next(ctx, 0)
+	cancel()
+	if err == nil || len(events) != 0 || dropped != 0 || ok {
+		t.Fatalf("future cursor read events=%v dropped=%d ok=%v err=%v before catch-up",
+			events, dropped, ok, err)
+	}
+
+	// Publish past the cursor: only seqs >= 5 are delivered.
+	for i := 3; i < 7; i++ {
+		h.Publish(Event{TraceEvent: netsim.TraceEvent{Type: EventCycle, Cycle: i}})
+	}
+	events, dropped, ok, err = sub.Next(context.Background(), 0)
+	if err != nil || !ok || dropped != 0 {
+		t.Fatalf("catch-up read: dropped=%d ok=%v err=%v", dropped, ok, err)
+	}
+	if len(events) != 2 || events[0].StreamSeq != 5 || events[1].StreamSeq != 6 {
+		t.Fatalf("catch-up events %+v, want seqs 5,6", events)
+	}
+
+	// A future cursor on a closed hub is a clean EOF, not a hang.
+	tail := h.Subscribe(100)
+	h.Close()
+	if _, _, ok, err := tail.Next(context.Background(), 0); ok || err != nil {
+		t.Fatalf("future cursor at close: ok=%v err=%v, want EOF", ok, err)
+	}
+	tail.Close()
+	if h.Dropped() != 0 {
+		t.Fatalf("future cursors charged %d drops", h.Dropped())
+	}
+}

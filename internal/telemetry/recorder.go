@@ -1,0 +1,91 @@
+package telemetry
+
+// recorder.go bridges the simulator's Observer callbacks onto a hub.
+// The Recorder runs synchronously on the simulating goroutine (both the
+// single-process netsim loop and the distsim coordinator call observers
+// there), so everything it does must be cheap and non-blocking — one
+// ring append per event, no I/O, no waiting on subscribers.  That is
+// the whole backpressure contract: the simulation's Result is
+// byte-identical with or without a Recorder attached, no matter how
+// slow or stuck the consumers are.
+
+import "xtreesim/internal/netsim"
+
+// Recorder publishes simulator events into a Hub as stream Events.
+//
+// Per-cycle samples are always published; individual hop events are
+// opt-in (StreamHops) because a congested run emits one per link per
+// cycle — without them, each EventCycle still carries the hop count of
+// the cycle before it, so utilization is visible at 1/links the volume.
+type Recorder struct {
+	hub     *Hub
+	session string
+
+	// StreamHops publishes one event per link traversal (high volume).
+	StreamHops bool
+
+	cycleHops int
+}
+
+// NewRecorder returns a ready-to-attach observer publishing into hub,
+// stamping every event with the session ID.
+func NewRecorder(hub *Hub, session string) *Recorder {
+	return &Recorder{hub: hub, session: session}
+}
+
+// Publish forwards a hand-built event (start/result/shard lifecycle
+// records) through the recorder's hub with its session stamp.
+func (r *Recorder) Publish(e Event) uint64 {
+	e.Session = r.session
+	return r.hub.Publish(e)
+}
+
+func (r *Recorder) OnCycleStart(c netsim.CycleInfo) {
+	r.Publish(Event{
+		TraceEvent: netsim.TraceEvent{Type: EventCycle, Cycle: c.Cycle,
+			Inflight: c.Inflight, QueuedLinks: c.QueuedLinks,
+			QueuedLocal: c.QueuedLocal, Parked: c.Parked},
+		Delivered:   c.Delivered,
+		Unreachable: c.Unreachable,
+		Emitted:     c.Emitted,
+		Hops:        r.cycleHops, // traversals of the cycle that just ended
+	})
+	r.cycleHops = 0
+}
+
+func (r *Recorder) OnHop(h netsim.HopInfo) {
+	r.cycleHops++
+	if !r.StreamHops {
+		return
+	}
+	r.Publish(Event{TraceEvent: netsim.TraceEvent{Type: EventHop, Cycle: h.Cycle,
+		Edge: h.Edge, From: h.From, To: h.To, Seq: h.Seq,
+		EvFrom: h.Ev.From, EvTo: h.Ev.To, Kind: h.Ev.Kind, Backlog: h.Backlog}})
+}
+
+func (r *Recorder) OnDeliver(d netsim.DeliverInfo) {
+	r.Publish(Event{TraceEvent: netsim.TraceEvent{Type: EventDeliver, Cycle: d.Cycle,
+		Host: d.Host, Seq: d.Seq, EvFrom: d.Ev.From, EvTo: d.Ev.To,
+		Kind: d.Ev.Kind, Latency: d.Latency, Local: d.Local}})
+}
+
+func (r *Recorder) OnDrop(d netsim.DropInfo) {
+	r.Publish(Event{TraceEvent: netsim.TraceEvent{Type: EventDrop, Cycle: d.Cycle,
+		Seq: d.Seq, EvFrom: d.Ev.From, EvTo: d.Ev.To, Kind: d.Ev.Kind,
+		Reason: d.Reason.String(), Attempt: d.Attempt}})
+}
+
+func (r *Recorder) OnRetransmit(t netsim.RetransmitInfo) {
+	r.Publish(Event{TraceEvent: netsim.TraceEvent{Type: EventRetransmit, Cycle: t.Cycle,
+		Seq: t.Seq, EvFrom: t.Ev.From, EvTo: t.Ev.To, Kind: t.Ev.Kind, Attempt: t.Attempt}})
+}
+
+func (r *Recorder) OnKill(k netsim.KillInfo) {
+	e := Event{TraceEvent: netsim.TraceEvent{Type: EventKill, Cycle: k.Cycle, From: k.U, To: k.V}}
+	if k.Vertex {
+		e.Reason = "vertex"
+	} else {
+		e.Reason = "link"
+	}
+	r.Publish(e)
+}

@@ -1,0 +1,113 @@
+// Package telemetry is the live-observation layer between the simulators
+// and their watchers: a bounded-ring event hub that fans per-cycle samples
+// and observer events out to any number of subscribers without ever
+// letting a slow consumer stall the simulation.
+//
+// The design splits the two speeds apart.  The publishing side (the
+// simulating goroutine, via Recorder's netsim.Observer hooks) appends
+// into a fixed-size ring under one short mutex hold and never blocks: if
+// a subscriber has not kept up, the ring simply overwrites the oldest
+// events and the subscriber learns — at its next read — exactly how many
+// events it lost.  The consuming side (NDJSON streamers, xtreectl watch)
+// reads batches at whatever pace the network allows.  Backpressure
+// therefore turns into counted, visible drops instead of simulator
+// stalls, which is the contract the byte-identical-Result tests pin.
+//
+// The wire schema is the PR-3 TraceRecorder JSONL format extended with
+// stream fields: Event embeds netsim.TraceEvent (same schema_version,
+// same six simulator event types) and adds the session/shard/stream
+// fields plus the stream-lifecycle types (start, shard, heartbeat,
+// dropped, result, error).  DecodeEvent rejects unknown schema versions
+// the same way netsim.DecodeTraceEvent does.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"xtreesim/internal/netsim"
+)
+
+// SchemaVersion is the stream schema version, shared with the
+// TraceRecorder JSONL export (netsim.TraceSchemaVersion): the stream is
+// a superset of the trace format, so the versions move together.
+const SchemaVersion = netsim.TraceSchemaVersion
+
+// Stream-lifecycle event types, extending the simulator enum
+// (netsim.EventCycle .. netsim.EventKill) for the live wire format.
+const (
+	// EventStart opens a session stream: session ID, workload shape and
+	// the embedding summary ride in Payload.
+	EventStart = "start"
+	// EventShard is one shard's share of one executed cycle on a
+	// partitioned run: hops, boundary messages out, barrier wait.
+	EventShard = "shard"
+	// EventHeartbeat keeps an idle stream connection visibly alive.
+	EventHeartbeat = "heartbeat"
+	// EventDropped tells a subscriber that it fell behind the ring and
+	// Dropped events were overwritten before it read them.
+	EventDropped = "dropped"
+	// EventResult closes a successful session: the final counters ride
+	// in Payload.  It is always the last event of a session.
+	EventResult = "result"
+	// EventError closes a failed session; Reason carries the message.
+	EventError = "error"
+)
+
+// Re-exported simulator event types, so stream consumers can name the
+// whole enum from one package.
+const (
+	EventCycle      = netsim.EventCycle
+	EventHop        = netsim.EventHop
+	EventDeliver    = netsim.EventDeliver
+	EventDrop       = netsim.EventDrop
+	EventRetransmit = netsim.EventRetransmit
+	EventKill       = netsim.EventKill
+)
+
+// Event is one element of a session stream: the TraceRecorder JSONL
+// record extended with the stream fields.  StreamSeq is the hub-assigned
+// sequence number — dense within a session, the resume cursor for
+// Last-Event-ID — and is stamped by Hub.Publish.
+type Event struct {
+	netsim.TraceEvent
+
+	// StreamSeq orders the stream; the json tag is "stream_seq" so it
+	// cannot collide with the simulator's per-message "seq" field.
+	StreamSeq uint64 `json:"stream_seq"`
+	// Session identifies the run; stamped by the publishing Recorder.
+	Session string `json:"session,omitempty"`
+
+	// Per-cycle counters beyond the TraceEvent snapshot (EventCycle).
+	Delivered   int   `json:"delivered,omitempty"`
+	Unreachable int   `json:"unreachable,omitempty"`
+	Emitted     int64 `json:"emitted,omitempty"`
+	// Hops is the link traversals of the previous cycle (EventCycle) or
+	// of this shard this cycle (EventShard).
+	Hops int `json:"hops,omitempty"`
+
+	// Partitioned-run shard fields (EventShard).
+	Shard            int   `json:"shard,omitempty"`
+	BoundaryOut      int   `json:"boundary_out,omitempty"`
+	BarrierWaitNanos int64 `json:"barrier_wait_ns,omitempty"`
+
+	// Dropped counts events lost to ring overwrite (EventDropped).
+	Dropped uint64 `json:"dropped,omitempty"`
+
+	// Payload carries the structured envelope of start/result events.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// DecodeEvent parses one NDJSON line of a session stream, rejecting
+// unknown schema versions exactly like netsim.DecodeTraceEvent.
+func DecodeEvent(line []byte) (Event, error) {
+	var e Event
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Event{}, fmt.Errorf("telemetry: decode event: %w", err)
+	}
+	if e.SchemaVersion != SchemaVersion {
+		return Event{}, fmt.Errorf("telemetry: unsupported stream schema_version %d (this build reads %d)",
+			e.SchemaVersion, SchemaVersion)
+	}
+	return e, nil
+}
